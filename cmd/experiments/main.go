@@ -1,0 +1,77 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation:
+//
+//	experiments -exp fig4          load-latency curves (Section IV-B)
+//	experiments -exp fig5          energy saving vs injection rate (IV-C)
+//	experiments -exp fig6          scalability to 8x8 / 16x16 (IV-D)
+//	experiments -exp fig8          heterogeneous workload mixes (V-B)
+//	experiments -exp fig9          energy breakdown (V-B)
+//	experiments -exp table1        router parameters / area (IV-A)
+//	experiments -exp table3        GPU injection + CS fraction (V-B)
+//	experiments -exp all           everything above
+//
+// Use -quick for a shortened run (fewer cycles, sparser sweeps) and
+// -mixes N to subsample the 56 workload mixes of fig8.
+//
+// Absolute joules are not comparable to the authors' testbed; the point
+// of each experiment is the relative shape: who wins, by roughly what
+// factor, and where the crossovers fall. EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+type runConfig struct {
+	quick   bool
+	mixes   int
+	seed    uint64
+	workers int
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig4|fig5|fig6|fig8|fig9|table1|table3|ablation|granularity|all")
+	quick := flag.Bool("quick", false, "shortened runs for smoke testing")
+	mixes := flag.Int("mixes", 56, "workload mixes for fig8/fig9/table3 (max 56)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "parallel experiment runs (0 = NumCPU)")
+	flag.Parse()
+
+	rc := runConfig{quick: *quick, mixes: *mixes, seed: *seed, workers: *workers}
+	switch *exp {
+	case "fig4":
+		fig4(rc)
+	case "fig5":
+		fig5(rc)
+	case "fig6":
+		fig6(rc)
+	case "fig8":
+		fig8(rc)
+	case "fig9":
+		fig9(rc)
+	case "table1":
+		table1(rc)
+	case "table3":
+		table3(rc)
+	case "ablation":
+		ablation(rc)
+	case "granularity":
+		granularity(rc)
+	case "all":
+		table1(rc)
+		fig4(rc)
+		fig5(rc)
+		fig6(rc)
+		fig8(rc)
+		fig9(rc)
+		table3(rc)
+		ablation(rc)
+		granularity(rc)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

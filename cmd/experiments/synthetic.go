@@ -1,0 +1,237 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"tdmnoc/hsnoc"
+)
+
+// synthPoint is one (configuration, pattern, rate) measurement.
+type synthPoint struct {
+	label   string
+	pattern hsnoc.Pattern
+	rate    float64
+	res     hsnoc.Results
+}
+
+// synthJob describes one simulation to run.
+type synthJob struct {
+	label   string
+	cfg     hsnoc.Config
+	pattern hsnoc.Pattern
+	rate    float64
+	warm    int
+	measure int
+}
+
+// runSynthetic executes jobs in parallel (each job is internally
+// deterministic, so the output order is fixed by the job list).
+func runSynthetic(jobs []synthJob, workers int) []synthPoint {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	out := make([]synthPoint, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j synthJob) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s := hsnoc.NewSynthetic(j.cfg, j.pattern, j.rate)
+			defer s.Close()
+			s.Warmup(j.warm)
+			res := s.Run(j.measure)
+			out[i] = synthPoint{label: j.label, pattern: j.pattern, rate: j.rate, res: res}
+		}(i, j)
+	}
+	wg.Wait()
+	return out
+}
+
+// configs for the Fig. 4 comparison.
+func packetCfg(w, h int, seed uint64) hsnoc.Config {
+	c := hsnoc.DefaultConfig(w, h)
+	c.Seed = seed
+	return c
+}
+
+func tdmCfg(w, h int, seed uint64) hsnoc.Config {
+	c := hsnoc.DefaultConfig(w, h)
+	c.Mode = hsnoc.HybridTDM
+	c.Seed = seed
+	return c
+}
+
+func tdmVCtCfg(w, h int, seed uint64) hsnoc.Config {
+	c := tdmCfg(w, h, seed)
+	c.VCPowerGating = true
+	return c
+}
+
+func sdmCfg(w, h int, seed uint64) hsnoc.Config {
+	c := hsnoc.DefaultConfig(w, h)
+	c.Mode = hsnoc.HybridSDM
+	c.Seed = seed
+	return c
+}
+
+func sweepRates(quick bool) []float64 {
+	if quick {
+		return []float64{0.05, 0.20, 0.35, 0.50}
+	}
+	return []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50}
+}
+
+func cyclesFor(quick bool) (warm, measure int) {
+	if quick {
+		return 2000, 8000
+	}
+	return 8000, 40000
+}
+
+// fig4 reproduces the load-latency curves of Fig. 4 for UR, TOR and TR
+// under Packet-VC4, Hybrid-SDM-VC4, Hybrid-TDM-VC4 and Hybrid-TDM-VCt.
+func fig4(rc runConfig) {
+	fmt.Println("== Figure 4: load-latency curves (6x6 mesh) ==")
+	warm, measure := cyclesFor(rc.quick)
+	patterns := []hsnoc.Pattern{hsnoc.UniformRandom, hsnoc.Tornado, hsnoc.Transpose}
+	type variant struct {
+		name string
+		cfg  func(uint64) hsnoc.Config
+	}
+	variants := []variant{
+		{"Packet-VC4", func(s uint64) hsnoc.Config { return packetCfg(6, 6, s) }},
+		{"Hybrid-SDM-VC4", func(s uint64) hsnoc.Config { return sdmCfg(6, 6, s) }},
+		{"Hybrid-TDM-VC4", func(s uint64) hsnoc.Config { return tdmCfg(6, 6, s) }},
+		{"Hybrid-TDM-VCt", func(s uint64) hsnoc.Config { return tdmVCtCfg(6, 6, s) }},
+	}
+	for _, pat := range patterns {
+		var jobs []synthJob
+		for _, v := range variants {
+			for _, rate := range sweepRates(rc.quick) {
+				jobs = append(jobs, synthJob{
+					label: v.name, cfg: v.cfg(rc.seed), pattern: pat, rate: rate,
+					warm: warm, measure: measure,
+				})
+			}
+		}
+		pts := runSynthetic(jobs, rc.workers)
+		fmt.Printf("\n-- pattern %v --\n", pat)
+		fmt.Printf("%-16s %8s %10s %10s %10s %8s\n", "config", "offered", "accepted", "netlat", "totlat", "cs%")
+		for _, p := range pts {
+			fmt.Printf("%-16s %8.2f %10.3f %10.1f %10.1f %8.1f\n",
+				p.label, p.rate, p.res.PayloadThroughput, p.res.AvgNetLatency, p.res.AvgTotalLatency,
+				100*p.res.CSFlitFraction)
+		}
+	}
+	fmt.Println()
+}
+
+// fig5 reproduces the energy-saving-vs-injection curves of Fig. 5:
+// Hybrid-TDM-VC4 and Hybrid-TDM-VCt relative to Packet-VC4.
+func fig5(rc runConfig) {
+	fmt.Println("== Figure 5: network energy saving vs injection rate (6x6 mesh) ==")
+	warm, measure := cyclesFor(rc.quick)
+	patterns := []hsnoc.Pattern{hsnoc.UniformRandom, hsnoc.Tornado, hsnoc.Transpose}
+	for _, pat := range patterns {
+		var jobs []synthJob
+		rates := sweepRates(rc.quick)
+		for _, rate := range rates {
+			jobs = append(jobs,
+				synthJob{label: "base", cfg: packetCfg(6, 6, rc.seed), pattern: pat, rate: rate, warm: warm, measure: measure},
+				synthJob{label: "tdm", cfg: tdmCfg(6, 6, rc.seed), pattern: pat, rate: rate, warm: warm, measure: measure},
+				synthJob{label: "vct", cfg: tdmVCtCfg(6, 6, rc.seed), pattern: pat, rate: rate, warm: warm, measure: measure},
+			)
+		}
+		pts := runSynthetic(jobs, rc.workers)
+		fmt.Printf("\n-- pattern %v --\n", pat)
+		fmt.Printf("%8s %18s %18s\n", "offered", "TDM-VC4 saving", "TDM-VCt saving")
+		for i := 0; i < len(pts); i += 3 {
+			base, tdm, vct := pts[i].res, pts[i+1].res, pts[i+2].res
+			fmt.Printf("%8.2f %17.1f%% %17.1f%%\n",
+				pts[i].rate, 100*tdm.EnergySavingVs(base), 100*vct.EnergySavingVs(base))
+		}
+	}
+	fmt.Println()
+}
+
+// fig6 reproduces the scalability study: maximum throughput improvement
+// and energy saving of Hybrid-TDM-VCt over Packet-VC4 on 8x8 and 16x16
+// meshes (256-entry slot tables for the larger network, per the paper).
+func fig6(rc runConfig) {
+	fmt.Println("== Figure 6: scalability (Hybrid-TDM-VCt vs Packet-VC4) ==")
+	warm, measure := cyclesFor(rc.quick)
+	sizes := []int{8, 16}
+	workers := rc.workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	patterns := []hsnoc.Pattern{hsnoc.UniformRandom, hsnoc.Tornado, hsnoc.Transpose}
+	for _, dim := range sizes {
+		for _, pat := range patterns {
+			rates := sweepRates(rc.quick)
+			var jobs []synthJob
+			w, m := warm, measure
+			if dim >= 16 {
+				// A 16x16 mesh is ~7x the work per cycle; shorten the
+				// measured region to keep the sweep tractable.
+				w, m = warm/2, measure/2
+			}
+			for _, rate := range rates {
+				pc := packetCfg(dim, dim, rc.seed)
+				tc := tdmVCtCfg(dim, dim, rc.seed)
+				// The paper sizes the slot tables statically per network
+				// (128 entries, 256 for the 16x16 mesh) in this study.
+				tc.DisableDynamicSlotSizing = true
+				if dim >= 16 {
+					tc.SlotTableEntries = 256
+				}
+				if workers > 1 {
+					// Intra-network parallelism only pays off when cores
+					// are not already saturated by parallel jobs.
+					pc.Workers = 2
+					tc.Workers = 2
+				}
+				jobs = append(jobs,
+					synthJob{label: "base", cfg: pc, pattern: pat, rate: rate, warm: w, measure: m},
+					synthJob{label: "vct", cfg: tc, pattern: pat, rate: rate, warm: w, measure: m},
+				)
+			}
+			pts := runSynthetic(jobs, rc.workers)
+			// Maximum accepted payload throughput over the sweep is the
+			// saturation throughput.
+			maxBase, maxVct := 0.0, 0.0
+			var satBase float64
+			for i := 0; i < len(pts); i += 2 {
+				if t := pts[i].res.PayloadThroughput; t > maxBase {
+					maxBase, satBase = t, pts[i].rate
+				}
+				if t := pts[i+1].res.PayloadThroughput; t > maxVct {
+					maxVct = t
+				}
+			}
+			// Energy sampled at 75 % of the baseline's saturation load.
+			eRate := 0.75 * satBase
+			eJobs := []synthJob{
+				{label: "base", cfg: packetCfg(dim, dim, rc.seed), pattern: pat, rate: eRate, warm: warm, measure: measure},
+				{label: "vct", cfg: func() hsnoc.Config {
+					c := tdmVCtCfg(dim, dim, rc.seed)
+					c.DisableDynamicSlotSizing = true
+					if dim >= 16 {
+						c.SlotTableEntries = 256
+					}
+					return c
+				}(), pattern: pat, rate: eRate, warm: warm, measure: measure},
+			}
+			ep := runSynthetic(eJobs, rc.workers)
+			fmt.Printf("%2dx%-2d %-3v: max throughput %.3f -> %.3f (%+.1f%%), energy saving at 75%% load: %.1f%%\n",
+				dim, dim, pat, maxBase, maxVct, 100*(maxVct-maxBase)/maxBase,
+				100*ep[1].res.EnergySavingVs(ep[0].res))
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,188 @@
+// Command nocsim runs a single NoC simulation and prints its metrics.
+//
+//	nocsim -mode tdm -pattern tornado -rate 0.15 -cycles 40000
+//	nocsim -mode packet -pattern ur -rate 0.3
+//	nocsim -mode tdm -hetero -cpu EQUAKE -gpu BLACKSCHOLES
+//
+// Modes: packet (Packet-VC4 baseline), tdm (Hybrid-TDM), sdm (Hybrid-SDM
+// baseline). TDM options: -sharing (hitchhiker/vicinity path sharing),
+// -vcgating (aggressive VC power gating), -slots N (slot-table capacity).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tdmnoc/hsnoc"
+	"tdmnoc/internal/textplot"
+)
+
+func parseMode(s string) (hsnoc.Mode, error) {
+	switch strings.ToLower(s) {
+	case "packet", "ps", "packet-vc4":
+		return hsnoc.PacketSwitched, nil
+	case "tdm", "hybrid-tdm":
+		return hsnoc.HybridTDM, nil
+	case "sdm", "hybrid-sdm":
+		return hsnoc.HybridSDM, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (packet|tdm|sdm)", s)
+}
+
+func parsePattern(s string) (hsnoc.Pattern, error) {
+	switch strings.ToLower(s) {
+	case "ur", "uniform", "random":
+		return hsnoc.UniformRandom, nil
+	case "tor", "tornado":
+		return hsnoc.Tornado, nil
+	case "tr", "transpose":
+		return hsnoc.Transpose, nil
+	case "bc", "bitcomplement":
+		return hsnoc.BitComplement, nil
+	case "nbr", "neighbor":
+		return hsnoc.Neighbor, nil
+	case "hot", "hotspot":
+		return hsnoc.Hotspot, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q (ur|tornado|transpose|bc|neighbor|hotspot)", s)
+}
+
+func main() {
+	mode := flag.String("mode", "tdm", "switching mode: packet|tdm|sdm")
+	pattern := flag.String("pattern", "tornado", "traffic pattern: ur|tornado|transpose|bc|neighbor")
+	rate := flag.Float64("rate", 0.15, "offered load in flits/node/cycle")
+	width := flag.Int("width", 6, "mesh width")
+	height := flag.Int("height", 6, "mesh height")
+	warmup := flag.Int("warmup", 8000, "warm-up cycles (not measured)")
+	cycles := flag.Int("cycles", 40000, "measured cycles")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	slots := flag.Int("slots", 128, "slot-table capacity (tdm)")
+	sharing := flag.Bool("sharing", false, "enable circuit-switched path sharing (tdm)")
+	vcgating := flag.Bool("vcgating", false, "enable aggressive VC power gating")
+	noSteal := flag.Bool("nostealing", false, "disable time-slot stealing (tdm)")
+	staticSlots := flag.Bool("staticslots", false, "disable dynamic slot-table sizing (tdm)")
+	workers := flag.Int("workers", 1, "executor parallelism")
+	hetero := flag.Bool("hetero", false, "run the heterogeneous system instead of synthetic traffic")
+	cpuB := flag.String("cpu", "EQUAKE", "CPU benchmark (hetero)")
+	gpuB := flag.String("gpu", "BLACKSCHOLES", "GPU benchmark (hetero)")
+	heatmap := flag.Bool("heatmap", false, "print a per-router utilisation heatmap after the run")
+	events := flag.String("events", "", "write a router-event trace to this file (serial runs only)")
+	configPath := flag.String("config", "", "load the network configuration from this JSON file (overrides structural flags)")
+	flag.Parse()
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := hsnoc.DefaultConfig(*width, *height)
+	cfg.Mode = m
+	cfg.Seed = *seed
+	cfg.SlotTableEntries = *slots
+	cfg.PathSharing = *sharing
+	cfg.VCPowerGating = *vcgating
+	cfg.DisableTimeSlotStealing = *noSteal
+	cfg.DisableDynamicSlotSizing = *staticSlots
+	cfg.Workers = *workers
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg, err = hsnoc.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	if *hetero {
+		runHetero(cfg, *cpuB, *gpuB, *warmup, *cycles)
+		return
+	}
+
+	p, err := parsePattern(*pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	s := hsnoc.NewSynthetic(cfg, p, *rate)
+	defer s.Close()
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := s.TraceEvents(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	s.Warmup(*warmup)
+	res := s.Run(*cycles)
+
+	fmt.Printf("%v, pattern %v, offered %.3f flits/node/cycle, %d cycles\n", m, p, *rate, *cycles)
+	fmt.Printf("  delivered packets       %d\n", res.Packets)
+	fmt.Printf("  accepted throughput     %.4f flits/node/cycle (%.4f payload-normalised)\n", res.Throughput, res.PayloadThroughput)
+	fmt.Printf("  avg network latency     %.1f cycles\n", res.AvgNetLatency)
+	fmt.Printf("  avg total latency       %.1f cycles (incl. source queueing)\n", res.AvgTotalLatency)
+	fmt.Printf("  circuit-switched flits  %.1f%%\n", 100*res.CSFlitFraction)
+	fmt.Printf("  config traffic          %.2f%% of flits\n", 100*res.ConfigTrafficFraction)
+	fmt.Printf("  circuits established    %d (active slot entries: %d)\n", res.CircuitsEstablished, res.ActiveSlotEntries)
+	if res.Hitchhikes+res.VicinityRides > 0 {
+		fmt.Printf("  path sharing            %d hitchhikes, %d vicinity rides\n", res.Hitchhikes, res.VicinityRides)
+	}
+	fmt.Printf("  energy                  %.2f uJ (dynamic %.2f, static %.2f)\n",
+		res.Energy.TotalPJ/1e6, sum(res.Energy.DynamicPJ)/1e6, sum(res.Energy.StaticPJ)/1e6)
+	if *heatmap {
+		if grid := s.UtilizationGrid(); grid != nil {
+			fmt.Println()
+			fmt.Print(textplot.Heatmap("router utilisation", grid))
+		}
+	}
+	d := s.Diagnose()
+	if d.MisroutedCS != 0 || d.DroppedCS != 0 || d.LatchConflicts != 0 {
+		fmt.Printf("  WARNING: invariant violations: %+v\n", d)
+		os.Exit(1)
+	}
+}
+
+func runHetero(cfg hsnoc.Config, cpuB, gpuB string, warmup, cycles int) {
+	h, err := hsnoc.NewHeterogeneous(cfg, cpuB, gpuB)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer h.Close()
+	h.Warmup(warmup)
+	res := h.Run(cycles)
+	fmt.Printf("%v, heterogeneous mix %s/%s, %d cycles\n", cfg.Mode, gpuB, cpuB, cycles)
+	fmt.Printf("  CPU instructions        %d\n", res.CPUInstructions)
+	fmt.Printf("  GPU memory operations   %d\n", res.GPUIterations)
+	fmt.Printf("  GPU injection rate      %.3f flits/node/cycle\n", res.GPUInjectionRate)
+	fmt.Printf("  GPU circuit-switched    %.1f%%\n", 100*res.GPUCSFraction)
+	fmt.Printf("  avg CPU / GPU latency   %.1f / %.1f cycles\n", res.AvgCPULatency, res.AvgGPULatency)
+	if res.Hitchhikes+res.VicinityRides > 0 {
+		fmt.Printf("  path sharing            %d hitchhikes, %d vicinity rides\n", res.Hitchhikes, res.VicinityRides)
+	}
+	fmt.Printf("  energy                  %.2f uJ\n", res.Energy.TotalPJ/1e6)
+	d := h.Diagnose()
+	if d.MisroutedCS != 0 || d.DroppedCS != 0 || d.LatchConflicts != 0 {
+		fmt.Printf("  WARNING: invariant violations: %+v\n", d)
+		os.Exit(1)
+	}
+}
+
+func sum(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

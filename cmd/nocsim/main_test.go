@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"tdmnoc/hsnoc"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]hsnoc.Mode{
+		"packet": hsnoc.PacketSwitched, "PS": hsnoc.PacketSwitched, "Packet-VC4": hsnoc.PacketSwitched,
+		"tdm": hsnoc.HybridTDM, "Hybrid-TDM": hsnoc.HybridTDM,
+		"sdm": hsnoc.HybridSDM,
+	}
+	for in, want := range cases {
+		got, err := parseMode(in)
+		if err != nil || got != want {
+			t.Errorf("parseMode(%q) = (%v,%v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseMode("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	cases := map[string]hsnoc.Pattern{
+		"ur": hsnoc.UniformRandom, "uniform": hsnoc.UniformRandom,
+		"tornado": hsnoc.Tornado, "TOR": hsnoc.Tornado,
+		"tr": hsnoc.Transpose, "transpose": hsnoc.Transpose,
+		"bc": hsnoc.BitComplement, "neighbor": hsnoc.Neighbor,
+	}
+	for in, want := range cases {
+		got, err := parsePattern(in)
+		if err != nil || got != want {
+			t.Errorf("parsePattern(%q) = (%v,%v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := parsePattern("bogus"); err == nil {
+		t.Error("bogus pattern accepted")
+	}
+}

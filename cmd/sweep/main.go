@@ -1,0 +1,125 @@
+// Command sweep runs a load sweep for one configuration and prints a CSV
+// load-latency curve, the raw material of Fig. 4 / Fig. 5:
+//
+//	sweep -mode tdm -pattern tornado -from 0.05 -to 0.5 -step 0.05
+//	sweep -mode packet -pattern ur > ps-ur.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+
+	"tdmnoc/hsnoc"
+	"tdmnoc/internal/textplot"
+)
+
+func main() {
+	mode := flag.String("mode", "tdm", "switching mode: packet|tdm|sdm")
+	pattern := flag.String("pattern", "tornado", "traffic pattern: ur|tornado|transpose|bc|neighbor")
+	width := flag.Int("width", 6, "mesh width")
+	height := flag.Int("height", 6, "mesh height")
+	from := flag.Float64("from", 0.05, "first offered load")
+	to := flag.Float64("to", 0.50, "last offered load")
+	step := flag.Float64("step", 0.05, "offered load step")
+	warmup := flag.Int("warmup", 8000, "warm-up cycles")
+	cycles := flag.Int("cycles", 40000, "measured cycles")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	sharing := flag.Bool("sharing", false, "path sharing (tdm)")
+	vcgating := flag.Bool("vcgating", false, "VC power gating")
+	plot := flag.Bool("plot", false, "render ASCII load-latency and energy charts after the CSV")
+	flag.Parse()
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	p, err := parsePattern(*pattern)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var rates []float64
+	for r := *from; r <= *to+1e-9; r += *step {
+		rates = append(rates, r)
+	}
+	results := make([]hsnoc.Results, len(rates))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, r := range rates {
+		wg.Add(1)
+		go func(i int, r float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := hsnoc.DefaultConfig(*width, *height)
+			cfg.Mode = m
+			cfg.Seed = *seed
+			cfg.PathSharing = *sharing
+			cfg.VCPowerGating = *vcgating
+			s := hsnoc.NewSynthetic(cfg, p, r)
+			defer s.Close()
+			s.Warmup(*warmup)
+			results[i] = s.Run(*cycles)
+		}(i, r)
+	}
+	wg.Wait()
+
+	fmt.Println("offered,accepted,payload_accepted,net_latency,total_latency,cs_fraction,energy_pj")
+	for i, r := range rates {
+		res := results[i]
+		fmt.Printf("%.3f,%.4f,%.4f,%.2f,%.2f,%.4f,%.0f\n",
+			r, res.Throughput, res.PayloadThroughput, res.AvgNetLatency, res.AvgTotalLatency,
+			res.CSFlitFraction, res.Energy.TotalPJ)
+	}
+	if *plot {
+		lat := textplot.Plot{Title: "load vs total latency", XLabel: "offered flits/node/cycle", YLabel: "cycles", YMax: 300}
+		acc := textplot.Plot{Title: "load vs accepted payload throughput", XLabel: "offered", YLabel: "accepted"}
+		var latY, accY []float64
+		for _, res := range results {
+			latY = append(latY, res.AvgTotalLatency)
+			accY = append(accY, res.PayloadThroughput)
+		}
+		_ = lat.Add(textplot.Series{Name: *mode + "/" + *pattern, X: rates, Y: latY})
+		_ = acc.Add(textplot.Series{Name: *mode + "/" + *pattern, X: rates, Y: accY})
+		fmt.Println()
+		fmt.Print(lat.Render())
+		fmt.Println()
+		fmt.Print(acc.Render())
+	}
+}
+
+func parseMode(s string) (hsnoc.Mode, error) {
+	switch strings.ToLower(s) {
+	case "packet", "ps", "packet-vc4":
+		return hsnoc.PacketSwitched, nil
+	case "tdm", "hybrid-tdm":
+		return hsnoc.HybridTDM, nil
+	case "sdm", "hybrid-sdm":
+		return hsnoc.HybridSDM, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (packet|tdm|sdm)", s)
+}
+
+func parsePattern(s string) (hsnoc.Pattern, error) {
+	switch strings.ToLower(s) {
+	case "ur", "uniform", "random":
+		return hsnoc.UniformRandom, nil
+	case "tor", "tornado":
+		return hsnoc.Tornado, nil
+	case "tr", "transpose":
+		return hsnoc.Transpose, nil
+	case "bc", "bitcomplement":
+		return hsnoc.BitComplement, nil
+	case "nbr", "neighbor":
+		return hsnoc.Neighbor, nil
+	case "hot", "hotspot":
+		return hsnoc.Hotspot, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q (ur|tornado|transpose|bc|neighbor|hotspot)", s)
+}

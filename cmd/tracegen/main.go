@@ -1,0 +1,152 @@
+// Command tracegen synthesizes, inspects and replays traffic traces —
+// the trace-driven simulation workflow.
+//
+//	tracegen -pattern tornado -rate 0.15 -cycles 20000 -out tor.trace
+//	tracegen -info tor.trace
+//	tracegen -replay tor.trace -mode tdm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tdmnoc/internal/network"
+	"tdmnoc/internal/topology"
+	"tdmnoc/internal/trace"
+	"tdmnoc/internal/traffic"
+)
+
+func main() {
+	pattern := flag.String("pattern", "tornado", "pattern for synthesis: ur|tornado|transpose|bc|neighbor|hotspot")
+	rate := flag.Float64("rate", 0.15, "offered load in flits/node/cycle")
+	width := flag.Int("width", 6, "mesh width")
+	height := flag.Int("height", 6, "mesh height")
+	cycles := flag.Int64("cycles", 20000, "trace length in cycles")
+	seed := flag.Uint64("seed", 1, "synthesis seed")
+	out := flag.String("out", "", "write a synthesized trace to this file")
+	info := flag.String("info", "", "print a summary of this trace file")
+	replay := flag.String("replay", "", "replay this trace file")
+	mode := flag.String("mode", "tdm", "replay network: packet|tdm")
+	flag.Parse()
+
+	switch {
+	case *info != "":
+		showInfo(*info)
+	case *replay != "":
+		runReplay(*replay, *mode)
+	case *out != "":
+		synthesize(*pattern, *rate, *width, *height, *cycles, *seed, *out)
+	default:
+		fmt.Fprintln(os.Stderr, "one of -out, -info or -replay is required")
+		os.Exit(2)
+	}
+}
+
+func parsePattern(s string) (traffic.Pattern, bool) {
+	switch strings.ToLower(s) {
+	case "ur", "uniform", "random":
+		return traffic.UniformRandom, true
+	case "tor", "tornado":
+		return traffic.Tornado, true
+	case "tr", "transpose":
+		return traffic.Transpose, true
+	case "bc", "bitcomplement":
+		return traffic.BitComplement, true
+	case "nbr", "neighbor":
+		return traffic.Neighbor, true
+	case "hot", "hotspot":
+		return traffic.Hotspot, true
+	}
+	return 0, false
+}
+
+func synthesize(pattern string, rate float64, w, h int, cycles int64, seed uint64, out string) {
+	p, ok := parsePattern(pattern)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", pattern)
+		os.Exit(2)
+	}
+	tr := trace.Synthesize(p, topology.NewMesh(w, h), rate, 5, cycles, seed)
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := tr.Save(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d events over %d cycles (%dx%d mesh) to %s\n",
+		len(tr.Events), tr.Duration(), tr.Width, tr.Height, out)
+}
+
+func loadTrace(path string) *trace.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := trace.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return tr
+}
+
+func showInfo(path string) {
+	tr := loadTrace(path)
+	perSrc := map[topology.NodeID]int{}
+	flits := 0
+	for _, e := range tr.Events {
+		perSrc[e.Src]++
+		flits += e.SizeFlits
+	}
+	fmt.Printf("%s: %dx%d mesh, %d events, %d flits, %d cycles\n",
+		path, tr.Width, tr.Height, len(tr.Events), flits, tr.Duration())
+	if tr.Duration() > 0 {
+		fmt.Printf("offered load: %.4f flits/node/cycle over %d active sources\n",
+			float64(flits)/float64(tr.Duration())/float64(tr.Width*tr.Height), len(perSrc))
+	}
+}
+
+func runReplay(path, mode string) {
+	tr := loadTrace(path)
+	var cfg network.Config
+	switch strings.ToLower(mode) {
+	case "packet", "ps":
+		cfg = network.DefaultConfig(tr.Width, tr.Height)
+	case "tdm":
+		cfg = network.HybridTDMConfig(tr.Width, tr.Height)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown replay mode %q\n", mode)
+		os.Exit(2)
+	}
+	reps := trace.NewReplayers(tr, 0)
+	net := network.New(cfg, func(id topology.NodeID) network.Endpoint {
+		if r := reps[id]; r != nil {
+			return r
+		}
+		return nil
+	})
+	defer net.Close()
+	net.EnableStats()
+	net.Run(int(tr.Duration()) + 10)
+	if !net.Drain(200000) {
+		fmt.Fprintf(os.Stderr, "replay failed to drain: %d packets in flight\n", net.InFlight())
+		os.Exit(1)
+	}
+	st := net.Stats()
+	lat, _ := st.AvgNetLatency()
+	tot, _ := st.AvgTotalLatency()
+	e := net.Energy()
+	fmt.Printf("replayed %d packets on %s network\n", st.EjectedPackets, mode)
+	fmt.Printf("  avg net latency   %.1f cycles\n", lat)
+	fmt.Printf("  avg total latency %.1f cycles\n", tot)
+	fmt.Printf("  circuit-switched  %.1f%%\n", 100*st.CSFlitFraction())
+	fmt.Printf("  energy            %.2f uJ\n", e.TotalPJ()/1e6)
+}

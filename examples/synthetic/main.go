@@ -1,0 +1,45 @@
+// Synthetic load-latency study: sweep offered load for three switching
+// architectures under transpose traffic and print the Fig. 4-style curve,
+// including the SDM baseline's early saturation and the TDM network's
+// latency win.
+//
+//	go run ./examples/synthetic
+package main
+
+import (
+	"fmt"
+
+	"tdmnoc/hsnoc"
+)
+
+func run(mode hsnoc.Mode, rate float64) hsnoc.Results {
+	cfg := hsnoc.DefaultConfig(6, 6)
+	cfg.Mode = mode
+	s := hsnoc.NewSynthetic(cfg, hsnoc.Transpose, rate)
+	defer s.Close()
+	s.Warmup(6000)
+	return s.Run(25000)
+}
+
+func main() {
+	rates := []float64{0.05, 0.10, 0.15, 0.20, 0.30, 0.40}
+	modes := []hsnoc.Mode{hsnoc.PacketSwitched, hsnoc.HybridSDM, hsnoc.HybridTDM}
+
+	fmt.Println("transpose traffic, 6x6 mesh: accepted payload throughput / avg total latency")
+	fmt.Printf("%8s", "offered")
+	for _, m := range modes {
+		fmt.Printf(" %22v", m)
+	}
+	fmt.Println()
+	for _, r := range rates {
+		fmt.Printf("%8.2f", r)
+		for _, m := range modes {
+			res := run(m, r)
+			fmt.Printf("      %6.3f / %8.1f", res.PayloadThroughput, res.AvgTotalLatency)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nnote how the SDM baseline saturates first (plane serialization)")
+	fmt.Println("while the TDM network sustains the highest accepted load with the")
+	fmt.Println("lowest latency — the Section IV-B result.")
+}

@@ -1,0 +1,3 @@
+module tdmnoc
+
+go 1.22

@@ -1,0 +1,49 @@
+package hsnoc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SaveConfig writes cfg as indented JSON.
+func SaveConfig(w io.Writer, cfg Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}
+
+// LoadConfig reads a JSON configuration written by SaveConfig (unknown
+// fields are rejected so typos fail loudly) and validates it.
+func LoadConfig(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("hsnoc: bad config: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Validate checks a configuration for structural errors.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("hsnoc: mesh %dx%d invalid", c.Width, c.Height)
+	}
+	if c.Mode < PacketSwitched || c.Mode > HybridSDM {
+		return fmt.Errorf("hsnoc: unknown mode %d", c.Mode)
+	}
+	if c.VCs < 0 || c.BufferDepth < 0 || c.SlotTableEntries < 0 || c.Planes < 0 || c.SAIterations < 0 {
+		return fmt.Errorf("hsnoc: negative structural parameter")
+	}
+	if c.Mode == HybridSDM && (c.PathSharing || c.VCPowerGating || c.LatencyBasedVCGating) {
+		return fmt.Errorf("hsnoc: TDM options set on an SDM configuration")
+	}
+	if c.Mode != HybridTDM && c.PathSharing {
+		return fmt.Errorf("hsnoc: PathSharing requires HybridTDM")
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package hsnoc
+
+import (
+	"fmt"
+
+	"tdmnoc/internal/hetero"
+	"tdmnoc/internal/workload"
+)
+
+// HeteroSimulator runs the Section V heterogeneous multicore system: one
+// CPU benchmark on every CPU tile and one GPU kernel on every accelerator
+// tile of the Fig. 7 layout, over the configured NoC.
+type HeteroSimulator struct {
+	sys    *hetero.System
+	warmed bool
+}
+
+// CPUBenchmarks lists the available SPEC OMP 2001 characterizations.
+func CPUBenchmarks() []string {
+	out := make([]string, len(workload.CPUBenchmarks))
+	for i, b := range workload.CPUBenchmarks {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// GPUBenchmarks lists the available GPU kernel characterizations
+// (Table III).
+func GPUBenchmarks() []string {
+	out := make([]string, len(workload.GPUBenchmarks))
+	for i, b := range workload.GPUBenchmarks {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// NewHeterogeneous builds the heterogeneous system for a workload mix.
+// The mesh uses the Fig. 7 layout when cfg is 6x6 and a proportionally
+// scaled layout otherwise. HybridSDM mode is not supported here (the
+// paper's Section V evaluates TDM only).
+func NewHeterogeneous(cfg Config, cpuBench, gpuBench string) (*HeteroSimulator, error) {
+	if cfg.Mode == HybridSDM {
+		return nil, fmt.Errorf("hsnoc: heterogeneous evaluation supports PacketSwitched and HybridTDM only")
+	}
+	cpu, ok := workload.CPUBenchmarkByName(cpuBench)
+	if !ok {
+		return nil, fmt.Errorf("hsnoc: unknown CPU benchmark %q", cpuBench)
+	}
+	gpu, ok := workload.GPUBenchmarkByName(gpuBench)
+	if !ok {
+		return nil, fmt.Errorf("hsnoc: unknown GPU benchmark %q", gpuBench)
+	}
+	var layout hetero.Layout
+	if cfg.Width == 6 && cfg.Height == 6 {
+		layout = hetero.Layout36()
+	} else {
+		layout = hetero.LayoutScaled(cfg.Width, cfg.Height)
+	}
+	return &HeteroSimulator{sys: hetero.NewSystem(cfg.networkConfig(), layout, cpu, gpu)}, nil
+}
+
+// Close releases resources.
+func (h *HeteroSimulator) Close() { h.sys.Close() }
+
+// Warmup advances without measuring.
+func (h *HeteroSimulator) Warmup(cycles int) { h.sys.Run(cycles) }
+
+// HeteroResults is the Section V measurement of one mix.
+type HeteroResults struct {
+	// CPUInstructions retired and GPUIterations completed during the
+	// measured region — Fig. 8(b)/(c) speedups are ratios of these
+	// between configurations.
+	CPUInstructions int64
+	GPUIterations   int64
+	// GPUInjectionRate and GPUCSFraction reproduce Table III.
+	GPUInjectionRate float64
+	GPUCSFraction    float64
+	// AvgCPULatency / AvgGPULatency are per-class mean packet latencies.
+	AvgCPULatency float64
+	AvgGPULatency float64
+	// Hitchhikes and VicinityRides count path-sharing uses.
+	Hitchhikes, VicinityRides int64
+	// Energy is the network energy breakdown (Fig. 9).
+	Energy Energy
+	// Cycles is the measured-region length.
+	Cycles int64
+}
+
+// Run measures the next region of the given length.
+func (h *HeteroSimulator) Run(cycles int) HeteroResults {
+	h.sys.EnableStats()
+	h.sys.Run(cycles)
+	r := h.sys.Result(int64(cycles))
+	out := HeteroResults{
+		CPUInstructions:  r.CPUInstructions,
+		GPUIterations:    r.GPUIterations,
+		GPUInjectionRate: r.GPUInjectionRate,
+		GPUCSFraction:    r.GPUCSFraction,
+		Hitchhikes:       r.Stats.Hitchhikes,
+		VicinityRides:    r.Stats.VicinityRides,
+		Energy:           energyFrom(r.Energy),
+		Cycles:           r.Cycles,
+	}
+	if n := r.Stats.ClassLatencyCount[0]; n > 0 {
+		out.AvgCPULatency = float64(r.Stats.ClassLatencySum[0]) / float64(n)
+	}
+	if n := r.Stats.ClassLatencyCount[1]; n > 0 {
+		out.AvgGPULatency = float64(r.Stats.ClassLatencySum[1]) / float64(n)
+	}
+	return out
+}
+
+// Diagnose returns the invariant counters.
+func (h *HeteroSimulator) Diagnose() Diagnostics {
+	d := h.sys.Diagnose()
+	return Diagnostics{
+		MisroutedCS: d.MisroutedCS, DroppedCS: d.DroppedCS,
+		LatchConflicts: d.LatchConflicts, StolenSlots: d.StolenSlots,
+	}
+}

@@ -1,0 +1,438 @@
+// Package hsnoc is the public API of the TDM hybrid-switched NoC
+// simulator — a from-scratch Go reproduction of "Energy-Efficient
+// Time-Division Multiplexed Hybrid-Switched NoC for Heterogeneous
+// Multicore Systems" (Yin, Zhou, Sapatnekar, Zhai; IPDPS 2014).
+//
+// The package wraps the cycle-accurate engine (internal/router,
+// internal/network and friends) behind a small configuration surface:
+//
+//	cfg := hsnoc.DefaultConfig(6, 6)
+//	cfg.Mode = hsnoc.HybridTDM
+//	sim := hsnoc.NewSynthetic(cfg, hsnoc.Tornado, 0.15)
+//	defer sim.Close()
+//	sim.Warmup(5_000)
+//	res := sim.Run(50_000)
+//	fmt.Println(res.AvgNetLatency, res.EnergySavingVs(baseline))
+//
+// Three switching modes are available: the canonical packet-switched
+// baseline (Packet-VC4 in the paper), the TDM hybrid-switched network
+// that is the paper's contribution, and the SDM hybrid baseline of Jerger
+// et al. used in the Fig. 4 comparison.
+package hsnoc
+
+import (
+	"fmt"
+	"io"
+
+	"tdmnoc/internal/network"
+	"tdmnoc/internal/power"
+	"tdmnoc/internal/router"
+	"tdmnoc/internal/sdm"
+	"tdmnoc/internal/sim"
+	"tdmnoc/internal/topology"
+	"tdmnoc/internal/traffic"
+)
+
+// Mode selects the switching architecture.
+type Mode int
+
+const (
+	// PacketSwitched is the Packet-VC4 baseline: a canonical 4-stage
+	// virtual-channelled wormhole router network.
+	PacketSwitched Mode = iota
+	// HybridTDM is the paper's contribution: packet- and circuit-switched
+	// traffic share the fabric through per-input-port slot tables.
+	HybridTDM
+	// HybridSDM is the space-division-multiplexed baseline: links are
+	// physically partitioned into planes owned by circuits.
+	HybridSDM
+)
+
+// String names the mode as the paper's figures label it.
+func (m Mode) String() string {
+	switch m {
+	case PacketSwitched:
+		return "Packet-VC4"
+	case HybridTDM:
+		return "Hybrid-TDM"
+	case HybridSDM:
+		return "Hybrid-SDM"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Pattern is a synthetic traffic pattern (Section IV).
+type Pattern = traffic.Pattern
+
+// The synthetic patterns of Section IV plus two extras used by ablations.
+const (
+	UniformRandom = traffic.UniformRandom
+	Tornado       = traffic.Tornado
+	Transpose     = traffic.Transpose
+	BitComplement = traffic.BitComplement
+	Neighbor      = traffic.Neighbor
+	Hotspot       = traffic.Hotspot
+)
+
+// Config selects and sizes a simulated network. Zero values fall back to
+// the Table-I parameters.
+type Config struct {
+	// Width and Height of the mesh (Table I: 6x6).
+	Width, Height int
+	// Mode is the switching architecture.
+	Mode Mode
+	// VCs per port (Table I: 4) and buffer depth per VC (Table I: 5).
+	VCs, BufferDepth int
+	// SlotTableEntries is the physical slot-table capacity (Table I: 128;
+	// the paper uses 256 for 256-node meshes).
+	SlotTableEntries int
+	// TimeSlotStealing lets packet-switched flits borrow idle reserved
+	// slots (Section II-D). Enabled by default for HybridTDM.
+	DisableTimeSlotStealing bool
+	// PathSharing enables hitchhiker- and vicinity-sharing
+	// (Section III-A) — the paper's "hop" configurations.
+	PathSharing bool
+	// VCPowerGating enables aggressive VC power gating (Section III-B) —
+	// the paper's "VCt" configurations.
+	VCPowerGating bool
+	// LatencyBasedVCGating swaps the utilisation-driven gate for the
+	// buffer-residency-driven refinement the paper suggests in
+	// Section V-B4 (implies VCPowerGating).
+	LatencyBasedVCGating bool
+	// DisableDynamicSlotSizing pins the active slot-table region to the
+	// full capacity instead of growing it on demand (Section II-C).
+	DisableDynamicSlotSizing bool
+	// SAIterations sets the switch allocator's iSLIP iteration count
+	// (0/1 = the classic single-pass separable allocator).
+	SAIterations int
+	// Planes is the SDM link partition count (HybridSDM only; default 4).
+	Planes int
+	// Seed makes runs reproducible; equal seeds give identical results.
+	Seed uint64
+	// Workers sets executor parallelism (results are identical for any
+	// value; >1 only pays off on large meshes).
+	Workers int
+}
+
+// DefaultConfig returns the Table-I baseline configuration for a
+// width x height mesh.
+func DefaultConfig(width, height int) Config {
+	return Config{Width: width, Height: height, VCs: 4, BufferDepth: 5, SlotTableEntries: 128, Planes: 4, Seed: 1, Workers: 1}
+}
+
+// networkConfig lowers the public Config onto the engine configuration.
+func (c Config) networkConfig() network.Config {
+	nc := network.DefaultConfig(c.Width, c.Height)
+	nc.Seed = c.Seed
+	if c.Workers > 0 {
+		nc.Workers = c.Workers
+	}
+	if c.VCs > 0 {
+		nc.Router.VCs = c.VCs
+	}
+	if c.BufferDepth > 0 {
+		nc.Router.BufDepth = c.BufferDepth
+	}
+	if c.SAIterations > 0 {
+		nc.Router.SAIterations = c.SAIterations
+	}
+	if c.Mode == HybridTDM {
+		nc.Router.Hybrid = true
+		nc.HybridSwitching = true
+		nc.DynamicSlots = !c.DisableDynamicSlotSizing
+		if c.SlotTableEntries > 0 {
+			nc.Router.SlotCapacity = c.SlotTableEntries
+			nc.Router.SlotActive = c.SlotTableEntries
+		}
+		nc.Router.TimeSlotStealing = !c.DisableTimeSlotStealing
+		if c.PathSharing {
+			nc = nc.WithSharing()
+		}
+	}
+	if c.VCPowerGating {
+		nc = nc.WithVCGating()
+	}
+	if c.LatencyBasedVCGating {
+		nc = nc.WithLatencyVCGating()
+	}
+	return nc
+}
+
+// sdmConfig lowers the public Config onto the SDM engine.
+func (c Config) sdmConfig() sdm.Config {
+	sc := sdm.DefaultConfig(c.Width, c.Height)
+	sc.Seed = c.Seed
+	if c.VCs > 0 {
+		sc.VCs = c.VCs
+	}
+	if c.BufferDepth > 0 {
+		sc.BufDepth = c.BufferDepth
+	}
+	if c.Planes > 0 {
+		sc.Planes = c.Planes
+		sc.CircuitPlanes = c.Planes - 1
+	}
+	return sc
+}
+
+// Results summarises one measured region.
+type Results struct {
+	// Cycles is the measured-region length.
+	Cycles int64
+	// Packets delivered during measurement.
+	Packets int64
+	// AvgNetLatency is mean injection-to-ejection latency (cycles).
+	AvgNetLatency float64
+	// AvgTotalLatency includes source queueing and circuit-slot stalls.
+	AvgTotalLatency float64
+	// Throughput is accepted flits/node/cycle.
+	Throughput float64
+	// PayloadThroughput normalises packets to packet-switched flit
+	// equivalents (a circuit-switched packet carries a cache line in 4
+	// flits instead of 5).
+	PayloadThroughput float64
+	// CSFlitFraction is the share of data flits that rode circuits.
+	CSFlitFraction float64
+	// ConfigTrafficFraction is setup/teardown/ack flits over all flits.
+	ConfigTrafficFraction float64
+	// Hitchhikes and VicinityRides count path-sharing uses.
+	Hitchhikes, VicinityRides int64
+	// CircuitsEstablished counts successful path setups.
+	CircuitsEstablished int64
+	// ActiveSlotEntries is the slot-table region in use at the end
+	// (dynamic sizing).
+	ActiveSlotEntries int
+	// Energy is the network energy breakdown for the measured region.
+	Energy Energy
+}
+
+// Energy is the per-component energy of Fig. 9, in picojoules.
+type Energy struct {
+	DynamicPJ map[string]float64
+	StaticPJ  map[string]float64
+	TotalPJ   float64
+}
+
+func energyFrom(b power.Breakdown) Energy {
+	e := Energy{DynamicPJ: map[string]float64{}, StaticPJ: map[string]float64{}}
+	for c := power.Component(0); c < power.NumComponents; c++ {
+		e.DynamicPJ[c.String()] = b.DynamicPJ[c]
+		e.StaticPJ[c.String()] = b.StaticPJ[c]
+	}
+	e.TotalPJ = b.TotalPJ()
+	return e
+}
+
+// EnergySavingVs returns the fractional energy saving of r relative to a
+// baseline run of the same length (positive = r uses less energy).
+func (r Results) EnergySavingVs(baseline Results) float64 {
+	if baseline.Energy.TotalPJ == 0 {
+		return 0
+	}
+	return 1 - r.Energy.TotalPJ/baseline.Energy.TotalPJ
+}
+
+// Simulator drives synthetic traffic over one network instance.
+type Simulator struct {
+	cfg  Config
+	mode Mode
+
+	net  *network.Network
+	gens []*traffic.Synthetic
+
+	sdmNet *sdm.Network
+
+	measured int64
+}
+
+// NewSynthetic builds a simulator offering the given pattern at the given
+// injection rate (flits/node/cycle). All traffic is circuit-switching
+// eligible, matching the Section IV evaluation.
+func NewSynthetic(cfg Config, pattern Pattern, rate float64) *Simulator {
+	s := &Simulator{cfg: cfg, mode: cfg.Mode}
+	if cfg.Mode == HybridSDM {
+		sc := s.cfg.sdmConfig()
+		mesh := topology.NewMesh(cfg.Width, cfg.Height)
+		s.sdmNet = sdm.New(sc, func(now int64, src topology.NodeID, rng *sim.RNG) (topology.NodeID, bool) {
+			if !rng.Bernoulli(rate / float64(sc.PSDataFlits)) {
+				return 0, false
+			}
+			return traffic.Destination(pattern, mesh, src, rng)
+		})
+		return s
+	}
+	nc := cfg.networkConfig()
+	allowCS := cfg.Mode == HybridTDM
+	s.net = network.New(nc, func(id topology.NodeID) network.Endpoint {
+		g := traffic.NewSynthetic(pattern, rate, nc.PSDataFlits, allowCS)
+		s.gens = append(s.gens, g)
+		return g
+	})
+	return s
+}
+
+// Close releases simulator resources.
+func (s *Simulator) Close() {
+	if s.net != nil {
+		s.net.Close()
+	}
+}
+
+// StopTraffic halts the synthetic generators; combine with Drain to let
+// every in-flight packet land before reading final statistics.
+func (s *Simulator) StopTraffic() {
+	for _, g := range s.gens {
+		g.Stop()
+	}
+	if s.sdmNet != nil {
+		s.sdmNet.StopGeneration()
+	}
+}
+
+// Drain runs until every sent packet has been delivered or limit cycles
+// pass, reporting success. Call StopTraffic first.
+func (s *Simulator) Drain(limit int) bool {
+	if s.sdmNet != nil {
+		return s.sdmNet.Drain(limit)
+	}
+	return s.net.Drain(limit)
+}
+
+// Warmup advances the simulation without measuring (the paper warms the
+// network with 1000 packets before measurement).
+func (s *Simulator) Warmup(cycles int) {
+	if s.sdmNet != nil {
+		s.sdmNet.Run(cycles)
+		return
+	}
+	s.net.Run(cycles)
+}
+
+// Run measures the next region of the given length and returns its
+// results.
+func (s *Simulator) Run(cycles int) Results {
+	if s.sdmNet != nil {
+		return s.runSDM(cycles)
+	}
+	s.net.EnableStats()
+	s.net.Run(cycles)
+	s.measured += int64(cycles)
+	return s.collect(int64(cycles))
+}
+
+func (s *Simulator) collect(cycles int64) Results {
+	st := s.net.Stats()
+	nodes := s.net.Mesh().Nodes()
+	res := Results{
+		Cycles:                cycles,
+		Packets:               st.EjectedPackets,
+		Throughput:            st.Throughput(nodes, cycles),
+		PayloadThroughput:     st.PayloadThroughput(s.net.Config().PSDataFlits, nodes, cycles),
+		CSFlitFraction:        st.CSFlitFraction(),
+		ConfigTrafficFraction: st.ConfigTrafficFraction(),
+		Hitchhikes:            st.Hitchhikes,
+		VicinityRides:         st.VicinityRides,
+		CircuitsEstablished:   st.SetupsOK,
+		ActiveSlotEntries:     s.net.ActiveSlots(),
+		Energy:                energyFrom(s.net.Energy()),
+	}
+	res.AvgNetLatency, _ = st.AvgNetLatency()
+	res.AvgTotalLatency, _ = st.AvgTotalLatency()
+	return res
+}
+
+func (s *Simulator) runSDM(cycles int) Results {
+	s.sdmNet.EnableStats()
+	s.sdmNet.Run(cycles)
+	st := &s.sdmNet.Stats
+	nodes := s.sdmNet.Mesh().Nodes()
+	res := Results{
+		Cycles:              int64(cycles),
+		Packets:             st.EjectedPackets,
+		Throughput:          st.Throughput(nodes, int64(cycles)),
+		PayloadThroughput:   st.PayloadThroughput(5, nodes, int64(cycles)),
+		CSFlitFraction:      st.CSFlitFraction(),
+		CircuitsEstablished: st.SetupsOK,
+		Energy:              energyFrom(s.sdmNet.Energy(power.Default45nm())),
+	}
+	res.AvgNetLatency, _ = st.AvgNetLatency()
+	res.AvgTotalLatency, _ = st.AvgTotalLatency()
+	return res
+}
+
+// Diagnostics reports protocol-invariant violations (all zero in correct
+// runs) plus the stolen-slot count. Not available for HybridSDM.
+type Diagnostics struct {
+	MisroutedCS, DroppedCS, LatchConflicts, StolenSlots int64
+}
+
+// TraceEvents streams router-level debug events (buffer writes, crossbar
+// traversals, circuit bypasses, slot reservations, steals) as text lines
+// to w. Requires a serial executor (Workers <= 1) and is not available
+// for HybridSDM.
+func (s *Simulator) TraceEvents(w io.Writer) error {
+	if s.net == nil {
+		return fmt.Errorf("hsnoc: event tracing is not available for %v", s.mode)
+	}
+	if s.cfg.Workers > 1 {
+		return fmt.Errorf("hsnoc: event tracing requires Workers <= 1")
+	}
+	s.net.AttachEventSink(router.WriteEvents(w))
+	return nil
+}
+
+// UtilizationGrid returns per-router activity (fraction of cycles doing
+// work) as a Height x Width grid — the raw material for a utilisation
+// heatmap. Not available for HybridSDM (returns nil).
+func (s *Simulator) UtilizationGrid() [][]float64 {
+	if s.net == nil {
+		return nil
+	}
+	m := s.net.Mesh()
+	grid := make([][]float64, m.Height)
+	for y := 0; y < m.Height; y++ {
+		grid[y] = make([]float64, m.Width)
+		for x := 0; x < m.Width; x++ {
+			mt := s.net.Router(m.ID(topology.Coord{X: x, Y: y})).Meter()
+			if mt.Cycles > 0 {
+				grid[y][x] = float64(mt.ActiveCycles) / float64(mt.Cycles)
+			}
+		}
+	}
+	return grid
+}
+
+// Diagnose returns the simulator's invariant counters.
+func (s *Simulator) Diagnose() Diagnostics {
+	if s.net == nil {
+		return Diagnostics{}
+	}
+	d := s.net.Diagnose()
+	return Diagnostics{
+		MisroutedCS: d.MisroutedCS, DroppedCS: d.DroppedCS,
+		LatchConflicts: d.LatchConflicts, StolenSlots: d.StolenSlots,
+	}
+}
+
+// RouterAreaMM2 reports the modelled router area for this configuration
+// (Section IV-A: 0.177 mm^2 packet-switched, 0.188 mm^2 hybrid).
+func (c Config) RouterAreaMM2() float64 {
+	a := power.DefaultArea45nm()
+	vcs, depth := c.VCs, c.BufferDepth
+	if vcs == 0 {
+		vcs = 4
+	}
+	if depth == 0 {
+		depth = 5
+	}
+	rc := power.RouterAreaConfig{Ports: 5, VCsPerPort: vcs, BufferDepth: depth}
+	if c.Mode == HybridTDM {
+		rc.Hybrid = true
+		rc.SlotTableEntries = c.SlotTableEntries
+		if rc.SlotTableEntries == 0 {
+			rc.SlotTableEntries = 128
+		}
+		rc.DLTEntries = 8
+	}
+	return power.RouterAreaMM2(a, rc)
+}

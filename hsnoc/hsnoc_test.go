@@ -1,0 +1,326 @@
+package hsnoc
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestModeStrings(t *testing.T) {
+	want := map[Mode]string{
+		PacketSwitched: "Packet-VC4", HybridTDM: "Hybrid-TDM", HybridSDM: "Hybrid-SDM",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("%d.String() = %q want %q", m, m.String(), s)
+		}
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode empty")
+	}
+}
+
+func TestSyntheticPacketSwitched(t *testing.T) {
+	cfg := DefaultConfig(6, 6)
+	s := NewSynthetic(cfg, Tornado, 0.10)
+	defer s.Close()
+	s.Warmup(2000)
+	res := s.Run(8000)
+	if res.Packets == 0 {
+		t.Fatal("no packets delivered")
+	}
+	if res.AvgNetLatency < 10 || res.AvgNetLatency > 60 {
+		t.Errorf("implausible latency %.1f", res.AvgNetLatency)
+	}
+	if math.Abs(res.Throughput-0.10) > 0.02 {
+		t.Errorf("throughput %.3f, offered 0.10", res.Throughput)
+	}
+	if res.CSFlitFraction != 0 {
+		t.Error("packet-switched run had CS flits")
+	}
+	d := s.Diagnose()
+	if d.MisroutedCS != 0 || d.DroppedCS != 0 || d.LatchConflicts != 0 {
+		t.Errorf("diagnostics dirty: %+v", d)
+	}
+}
+
+func TestSyntheticHybridTDM(t *testing.T) {
+	cfg := DefaultConfig(6, 6)
+	cfg.Mode = HybridTDM
+	s := NewSynthetic(cfg, Tornado, 0.10)
+	defer s.Close()
+	s.Warmup(4000)
+	res := s.Run(10000)
+	if res.CSFlitFraction == 0 {
+		t.Error("hybrid run circuit-switched nothing")
+	}
+	if res.CircuitsEstablished == 0 {
+		t.Error("no circuits established")
+	}
+	if res.ActiveSlotEntries == 0 {
+		t.Error("no active slot entries reported")
+	}
+	if res.Energy.TotalPJ <= 0 {
+		t.Error("no energy recorded")
+	}
+	d := s.Diagnose()
+	if d.MisroutedCS != 0 || d.DroppedCS != 0 {
+		t.Errorf("CS invariants: %+v", d)
+	}
+	if d.StolenSlots == 0 {
+		t.Error("no time-slot stealing observed")
+	}
+}
+
+func TestHybridSavesEnergyOnTornado(t *testing.T) {
+	run := func(mode Mode) Results {
+		cfg := DefaultConfig(6, 6)
+		cfg.Mode = mode
+		s := NewSynthetic(cfg, Tornado, 0.15)
+		defer s.Close()
+		s.Warmup(4000)
+		return s.Run(12000)
+	}
+	base := run(PacketSwitched)
+	tdm := run(HybridTDM)
+	saving := tdm.EnergySavingVs(base)
+	if saving <= 0.05 {
+		t.Errorf("TDM energy saving %.3f on tornado, want > 5%%", saving)
+	}
+	if tdm.AvgNetLatency >= base.AvgNetLatency {
+		t.Errorf("TDM net latency %.1f not below baseline %.1f", tdm.AvgNetLatency, base.AvgNetLatency)
+	}
+}
+
+func TestSDMMode(t *testing.T) {
+	cfg := DefaultConfig(6, 6)
+	cfg.Mode = HybridSDM
+	s := NewSynthetic(cfg, Tornado, 0.08)
+	defer s.Close()
+	s.Warmup(3000)
+	res := s.Run(8000)
+	if res.Packets == 0 {
+		t.Fatal("SDM delivered nothing")
+	}
+	// Serialization: SDM latency must exceed the full-width baseline's.
+	base := NewSynthetic(DefaultConfig(6, 6), Tornado, 0.08)
+	defer base.Close()
+	base.Warmup(3000)
+	b := base.Run(8000)
+	if res.AvgNetLatency <= b.AvgNetLatency {
+		t.Errorf("SDM latency %.1f not above full-width %.1f at low load", res.AvgNetLatency, b.AvgNetLatency)
+	}
+}
+
+func TestRouterArea(t *testing.T) {
+	ps := DefaultConfig(6, 6)
+	hy := DefaultConfig(6, 6)
+	hy.Mode = HybridTDM
+	a, b := ps.RouterAreaMM2(), hy.RouterAreaMM2()
+	if math.Abs(a-0.177) > 0.002 || math.Abs(b-0.188) > 0.002 {
+		t.Errorf("areas %.4f / %.4f, want 0.177 / 0.188", a, b)
+	}
+}
+
+func TestBenchmarkLists(t *testing.T) {
+	if len(CPUBenchmarks()) != 8 {
+		t.Errorf("%d CPU benchmarks, want 8", len(CPUBenchmarks()))
+	}
+	if len(GPUBenchmarks()) != 7 {
+		t.Errorf("%d GPU benchmarks, want 7", len(GPUBenchmarks()))
+	}
+}
+
+func TestHeterogeneousFacade(t *testing.T) {
+	cfg := DefaultConfig(6, 6)
+	cfg.Mode = HybridTDM
+	h, err := NewHeterogeneous(cfg, "EQUAKE", "BLACKSCHOLES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	h.Warmup(3000)
+	res := h.Run(8000)
+	if res.CPUInstructions == 0 || res.GPUIterations == 0 {
+		t.Fatal("no work completed")
+	}
+	if res.GPUCSFraction <= 0 {
+		t.Error("no GPU circuit switching")
+	}
+	if res.Energy.TotalPJ <= 0 {
+		t.Error("no energy")
+	}
+	d := h.Diagnose()
+	if d.MisroutedCS != 0 || d.DroppedCS != 0 {
+		t.Errorf("invariants: %+v", d)
+	}
+}
+
+func TestHeterogeneousErrors(t *testing.T) {
+	cfg := DefaultConfig(6, 6)
+	if _, err := NewHeterogeneous(cfg, "NOPE", "STO"); err == nil {
+		t.Error("bogus CPU benchmark accepted")
+	}
+	if _, err := NewHeterogeneous(cfg, "SWIM", "NOPE"); err == nil {
+		t.Error("bogus GPU benchmark accepted")
+	}
+	cfg.Mode = HybridSDM
+	if _, err := NewHeterogeneous(cfg, "SWIM", "STO"); err == nil {
+		t.Error("SDM hetero accepted")
+	}
+}
+
+func TestScaledHeterogeneousLayout(t *testing.T) {
+	cfg := DefaultConfig(8, 8)
+	cfg.Mode = HybridTDM
+	h, err := NewHeterogeneous(cfg, "ART", "LPS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	h.Warmup(1000)
+	res := h.Run(3000)
+	if res.CPUInstructions == 0 || res.GPUIterations == 0 {
+		t.Fatal("scaled layout did no work")
+	}
+}
+
+func TestDeterministicFacade(t *testing.T) {
+	run := func() Results {
+		cfg := DefaultConfig(4, 4)
+		cfg.Mode = HybridTDM
+		cfg.Seed = 9
+		s := NewSynthetic(cfg, UniformRandom, 0.1)
+		defer s.Close()
+		s.Warmup(1000)
+		return s.Run(3000)
+	}
+	a, b := run(), run()
+	if a.Packets != b.Packets || a.Energy.TotalPJ != b.Energy.TotalPJ {
+		t.Fatalf("nondeterministic facade: %+v vs %+v", a.Packets, b.Packets)
+	}
+}
+
+func TestConfigSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(6, 6)
+	cfg.Mode = HybridTDM
+	cfg.PathSharing = true
+	cfg.SAIterations = 2
+	cfg.Seed = 42
+	var buf bytes.Buffer
+	if err := SaveConfig(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatalf("round trip changed config:\n%+v\n%+v", got, cfg)
+	}
+}
+
+func TestLoadConfigRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"Width": 0, "Height": 6}`,
+		`{"Width": 6, "Height": 6, "Mode": 99}`,
+		`{"Width": 6, "Height": 6, "Typo": true}`,
+		`{"Width": 6, "Height": 6, "VCs": -1}`,
+		`{"Width": 6, "Height": 6, "Mode": 2, "PathSharing": true}`,
+		`{"Width": 6, "Height": 6, "Mode": 0, "PathSharing": true}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadConfig(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	for _, m := range []Mode{PacketSwitched, HybridTDM, HybridSDM} {
+		cfg := DefaultConfig(6, 6)
+		cfg.Mode = m
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("default %v config rejected: %v", m, err)
+		}
+	}
+}
+
+func TestUtilizationGrid(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	s := NewSynthetic(cfg, Tornado, 0.2)
+	defer s.Close()
+	s.Warmup(500)
+	s.Run(2000)
+	grid := s.UtilizationGrid()
+	if len(grid) != 4 || len(grid[0]) != 4 {
+		t.Fatalf("grid shape %dx%d", len(grid), len(grid[0]))
+	}
+	busy := 0.0
+	for _, row := range grid {
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("utilisation %v out of [0,1]", v)
+			}
+			busy += v
+		}
+	}
+	if busy == 0 {
+		t.Fatal("no router did any work")
+	}
+	// SDM mode has no grid.
+	sd := DefaultConfig(4, 4)
+	sd.Mode = HybridSDM
+	sdm := NewSynthetic(sd, Tornado, 0.1)
+	defer sdm.Close()
+	if sdm.UtilizationGrid() != nil {
+		t.Error("SDM returned a grid")
+	}
+}
+
+func TestTraceEventsRestrictions(t *testing.T) {
+	sd := DefaultConfig(4, 4)
+	sd.Mode = HybridSDM
+	s := NewSynthetic(sd, Tornado, 0.1)
+	defer s.Close()
+	if err := s.TraceEvents(io.Discard); err == nil {
+		t.Error("SDM event tracing accepted")
+	}
+	pw := DefaultConfig(4, 4)
+	pw.Workers = 4
+	p := NewSynthetic(pw, Tornado, 0.1)
+	defer p.Close()
+	if err := p.TraceEvents(io.Discard); err == nil {
+		t.Error("parallel event tracing accepted")
+	}
+	ok := NewSynthetic(DefaultConfig(4, 4), Tornado, 0.1)
+	defer ok.Close()
+	if err := ok.TraceEvents(io.Discard); err != nil {
+		t.Errorf("serial tracing rejected: %v", err)
+	}
+}
+
+func TestStopTrafficAndDrain(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	cfg.Mode = HybridTDM
+	s := NewSynthetic(cfg, UniformRandom, 0.15)
+	defer s.Close()
+	s.Warmup(2000)
+	s.StopTraffic()
+	if !s.Drain(20000) {
+		t.Fatal("network failed to drain after StopTraffic")
+	}
+	// SDM path too.
+	sd := DefaultConfig(4, 4)
+	sd.Mode = HybridSDM
+	x := NewSynthetic(sd, Tornado, 0.1)
+	defer x.Close()
+	x.Warmup(2000)
+	x.StopTraffic()
+	if !x.Drain(30000) {
+		t.Fatal("SDM failed to drain after StopTraffic")
+	}
+}

@@ -1,0 +1,122 @@
+package hetero
+
+import (
+	"tdmnoc/internal/flit"
+	"tdmnoc/internal/network"
+	"tdmnoc/internal/power"
+	"tdmnoc/internal/stats"
+	"tdmnoc/internal/topology"
+	"tdmnoc/internal/workload"
+)
+
+// System is one heterogeneous multicore simulation: a workload mix (one
+// CPU benchmark on every CPU tile, one GPU kernel on every accelerator
+// tile) running over a configured NoC.
+type System struct {
+	Net    *network.Network
+	Layout Layout
+
+	CPU workload.CPUBenchmark
+	GPU workload.GPUBenchmark
+
+	cpus  []*CPUCore
+	gpus  []*GPUCore
+	banks []*L2Bank
+	mcs   []*MemController
+
+	// memLatencyEstimate seeds the warp-pool compute-time derivation.
+	memLatencyEstimate int
+}
+
+// NewSystem wires a workload mix onto a network configuration. The
+// layout's mesh dimensions override whatever the network config says.
+func NewSystem(cfg network.Config, layout Layout, cpu workload.CPUBenchmark, gpu workload.GPUBenchmark) *System {
+	cfg.Width = layout.Mesh.Width
+	cfg.Height = layout.Mesh.Height
+	s := &System{Layout: layout, CPU: cpu, GPU: gpu, memLatencyEstimate: 60}
+	s.Net = network.New(cfg, func(id topology.NodeID) network.Endpoint {
+		switch layout.Kind(id) {
+		case TileCPU:
+			c := NewCPUCore(&s.Layout, cpu)
+			s.cpus = append(s.cpus, c)
+			return c
+		case TileGPU:
+			g := NewGPUCore(&s.Layout, gpu, id, s.memLatencyEstimate)
+			s.gpus = append(s.gpus, g)
+			return g
+		case TileL2:
+			b := NewL2Bank(&s.Layout, id)
+			s.banks = append(s.banks, b)
+			return b
+		default:
+			m := NewMemController()
+			s.mcs = append(s.mcs, m)
+			return m
+		}
+	})
+	return s
+}
+
+// Close releases the network's resources.
+func (s *System) Close() { s.Net.Close() }
+
+// Run advances the system by the given number of cycles.
+func (s *System) Run(cycles int) { s.Net.Run(cycles) }
+
+// EnableStats starts measurement (after warm-up) and zeroes the
+// performance counters so speedups cover the measured region only.
+func (s *System) EnableStats() {
+	s.Net.EnableStats()
+	for _, c := range s.cpus {
+		c.Retired = 0
+	}
+	for _, g := range s.gpus {
+		g.Iterations = 0
+	}
+}
+
+// Result is the measurement of one run.
+type Result struct {
+	// CPUInstructions is the total retired across CPU tiles.
+	CPUInstructions int64
+	// GPUIterations is the total completed warp memory operations.
+	GPUIterations int64
+	// Stats is the merged network statistics.
+	Stats stats.Collector
+	// Energy is the network energy breakdown.
+	Energy power.Breakdown
+	// GPUInjectionRate is measured offered GPU traffic in
+	// flits/node/cycle (Table III, left column).
+	GPUInjectionRate float64
+	// GPUCSFraction is the share of GPU flits that travelled
+	// circuit-switched (Table III, right column).
+	GPUCSFraction float64
+	// Cycles is the measured-region length.
+	Cycles int64
+}
+
+// Result collects the current measurement over the given measured-region
+// length.
+func (s *System) Result(cycles int64) Result {
+	r := Result{Cycles: cycles, Stats: s.Net.Stats(), Energy: s.Net.Energy()}
+	for _, c := range s.cpus {
+		r.CPUInstructions += c.Retired
+	}
+	for _, g := range s.gpus {
+		r.GPUIterations += g.Iterations
+	}
+	// GPU injection: flits injected by accelerator tiles.
+	var gpuFlits int64
+	for _, id := range s.Layout.GPUs {
+		ni := s.Net.NI(id)
+		gpuFlits += ni.Stats.InjectedFlits
+	}
+	if cycles > 0 && len(s.Layout.GPUs) > 0 {
+		r.GPUInjectionRate = float64(gpuFlits) / (float64(cycles) * float64(len(s.Layout.GPUs)))
+	}
+	r.GPUCSFraction = r.Stats.ClassCSFraction(flit.ClassGPU)
+	return r
+}
+
+// Diagnose exposes the network invariants.
+func (s *System) Diagnose() network.Diagnostics { return s.Net.Diagnose() }

@@ -1,0 +1,76 @@
+package hybrid
+
+import (
+	"testing"
+
+	"tdmnoc/internal/topology"
+)
+
+// FuzzRouterTablesOps drives random reserve/release/lookup sequences and
+// checks structural invariants: reserved counts never go negative, the
+// output-busy index always agrees with the per-input tables, and the
+// occupancy cap is never exceeded.
+func FuzzRouterTablesOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, uint8(16))
+	f.Add([]byte{255, 0, 128, 64, 32, 9, 200, 100, 50, 25}, uint8(32))
+	f.Fuzz(func(t *testing.T, ops []byte, active8 uint8) {
+		active := int(active8%32) + 4
+		rt := NewRouterTables(active, active)
+		type resv struct {
+			in   topology.Port
+			slot int
+			dur  int
+		}
+		var live []resv
+		now := int64(0)
+		for i := 0; i+3 < len(ops); i += 4 {
+			now += int64(ops[i] % 7)
+			in := topology.Port(ops[i] % uint8(topology.NumPorts))
+			out := topology.Port(ops[i+1] % uint8(topology.NumPorts))
+			slot := int(ops[i+2]) % active
+			dur := int(ops[i+3]%5) + 1
+			switch ops[i] % 3 {
+			case 0, 1:
+				if rt.Reserve(in, out, slot, dur, now) {
+					live = append(live, resv{in: in, slot: slot, dur: dur})
+				}
+			case 2:
+				if len(live) > 0 {
+					v := live[0]
+					live = live[1:]
+					if _, ok := rt.Release(v.in, v.slot, v.dur, now); !ok {
+						t.Fatalf("release of live reservation failed: %+v", v)
+					}
+				}
+			}
+			// Invariants after every op.
+			total := 0
+			for p := topology.Port(0); p < topology.NumPorts; p++ {
+				if r := rt.in[p].Reserved(); r < 0 || r > active {
+					t.Fatalf("input %v reserved count %d out of range", p, r)
+				} else {
+					total += r
+				}
+			}
+			if total != rt.ReservedEntries() {
+				t.Fatalf("ReservedEntries %d != sum %d", rt.ReservedEntries(), total)
+			}
+			// Every valid entry must be reflected in the outBusy index.
+			for p := topology.Port(0); p < topology.NumPorts; p++ {
+				for s := 0; s < active; s++ {
+					if o, ok := rt.in[p].Lookup(s, now); ok {
+						if in2, res := rt.OutReservedAt(int64(s)+int64(active)*1000, o); !res {
+							_ = in2
+							// Grace-window entries may report unreserved
+							// through OutReservedAt once busy is cleared;
+							// only hard-valid entries must match.
+							if rt.in[p].entries[s].Valid {
+								t.Fatalf("valid entry (%v,%d)->%v missing from outBusy", p, s, o)
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}

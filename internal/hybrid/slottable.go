@@ -1,0 +1,305 @@
+// Package hybrid holds the data structures and policies that turn a
+// canonical packet-switched router into the paper's TDM hybrid-switched
+// router: per-input-port slot tables (Section II, Fig. 1), the destination
+// lookup table used by hitchhiker-sharing (Section III-A1), the dynamic
+// slot-table sizing policy (Section II-C), and the aggressive VC power
+// gating policy (Section III-B).
+//
+// The package is deliberately free of router mechanics — it is pure state
+// plus decision logic — so both the hybrid router pipeline
+// (internal/router) and the network interfaces (internal/network) can use
+// it, and so each behaviour is unit-testable in isolation.
+package hybrid
+
+import (
+	"fmt"
+
+	"tdmnoc/internal/topology"
+)
+
+// GracePeriod is how many cycles a released slot keeps routing
+// circuit-switched flits before becoming reusable. Teardown messages
+// travel the packet-switched network while circuit-switched flits from
+// path-sharing nodes may still be in flight behind them; the grace window
+// lets those flits land instead of being misrouted. It exceeds the
+// worst-case circuit flight time of the largest evaluated mesh (16x16).
+const GracePeriod = 128
+
+// SlotEntry is one row of a slot table: a valid bit and an output port
+// (the hardware cost the paper describes), plus the release-grace
+// timestamp used by the simulator's lazy teardown.
+type SlotEntry struct {
+	Valid bool
+	Out   topology.Port
+	// GraceUntil keeps the entry routing (but not reservable) until the
+	// given cycle after a release.
+	GraceUntil int64
+}
+
+// SlotTable is the per-input-port reservation table. Only the first
+// Active() entries are powered; the rest are power-gated until the dynamic
+// sizing policy doubles the active region (Section II-C).
+type SlotTable struct {
+	entries  []SlotEntry
+	active   int
+	reserved int
+}
+
+// NewSlotTable creates a table with the given total capacity and initial
+// active size. It panics on invalid sizes (programming errors).
+func NewSlotTable(capacity, active int) *SlotTable {
+	if capacity <= 0 || active <= 0 || active > capacity {
+		panic(fmt.Sprintf("hybrid: invalid slot table sizes capacity=%d active=%d", capacity, active))
+	}
+	return &SlotTable{entries: make([]SlotEntry, capacity), active: active}
+}
+
+// Capacity returns the physical entry count.
+func (t *SlotTable) Capacity() int { return len(t.entries) }
+
+// Active returns the powered entry count; slot arithmetic is modulo this.
+func (t *SlotTable) Active() int { return t.active }
+
+// Reserved returns the number of valid entries.
+func (t *SlotTable) Reserved() int { return t.reserved }
+
+// Occupancy returns the fraction of active entries that are reserved.
+func (t *SlotTable) Occupancy() float64 {
+	return float64(t.reserved) / float64(t.active)
+}
+
+// Lookup returns the routing entry for slot at cycle now: a valid entry,
+// or a recently released one still inside its grace window.
+func (t *SlotTable) Lookup(slot int, now int64) (topology.Port, bool) {
+	e := t.entries[slot]
+	if e.Valid || now < e.GraceUntil {
+		return e.Out, true
+	}
+	return 0, false
+}
+
+// Reservable reports whether slot can take a new reservation at cycle now.
+func (t *SlotTable) Reservable(slot int, now int64) bool {
+	e := t.entries[slot]
+	return !e.Valid && now >= e.GraceUntil
+}
+
+// Set marks slot reserved for out. It reports false if the slot is valid
+// or still in its release grace window.
+func (t *SlotTable) Set(slot int, out topology.Port, now int64) bool {
+	if !t.Reservable(slot, now) {
+		return false
+	}
+	t.entries[slot] = SlotEntry{Valid: true, Out: out}
+	t.reserved++
+	return true
+}
+
+// Clear releases slot, returning the output port it held. The entry keeps
+// routing until now+GracePeriod.
+func (t *SlotTable) Clear(slot int, now int64) (topology.Port, bool) {
+	e := t.entries[slot]
+	if !e.Valid {
+		return 0, false
+	}
+	t.entries[slot] = SlotEntry{Out: e.Out, GraceUntil: now + GracePeriod}
+	t.reserved--
+	return e.Out, true
+}
+
+// Reset invalidates every entry (graces included) and optionally changes
+// the active size (used when the network-wide dynamic sizing policy
+// doubles table size: "all slot tables are reset, and the path setup
+// procedure restarts").
+func (t *SlotTable) Reset(newActive int) {
+	if newActive <= 0 || newActive > len(t.entries) {
+		panic(fmt.Sprintf("hybrid: invalid active size %d", newActive))
+	}
+	for i := range t.entries {
+		t.entries[i] = SlotEntry{}
+	}
+	t.reserved = 0
+	t.active = newActive
+}
+
+// RouterTables groups one router's per-input-port slot tables together
+// with a reverse output-busy index, so reservation can enforce both
+// failure modes of Fig. 1: the input slot already taken (setup 2) and the
+// output port already promised to another input at that slot (setup 3).
+type RouterTables struct {
+	in       [topology.NumPorts]*SlotTable
+	outBusy  [][topology.NumPorts]bool  // [slot][output port]
+	outGrace [][topology.NumPorts]int64 // grace deadline per slot/output
+	active   int
+
+	// ReserveCap is the maximum occupancy per input table; allocation is
+	// prohibited above it to prevent packet-switched starvation. The
+	// paper sets it to 90 %.
+	ReserveCap float64
+}
+
+// DefaultReserveCap is the paper's anti-starvation threshold.
+const DefaultReserveCap = 0.90
+
+// NewRouterTables creates the slot state for one router.
+func NewRouterTables(capacity, active int) *RouterTables {
+	rt := &RouterTables{active: active, ReserveCap: DefaultReserveCap}
+	for p := range rt.in {
+		rt.in[p] = NewSlotTable(capacity, active)
+	}
+	rt.outBusy = make([][topology.NumPorts]bool, capacity)
+	rt.outGrace = make([][topology.NumPorts]int64, capacity)
+	return rt
+}
+
+// Active returns the powered entry count per input table.
+func (rt *RouterTables) Active() int { return rt.active }
+
+// Capacity returns the physical entry count per input table.
+func (rt *RouterTables) Capacity() int { return rt.in[0].Capacity() }
+
+// SlotOf reduces an absolute cycle to a slot index.
+func (rt *RouterTables) SlotOf(cycle int64) int {
+	return int(cycle % int64(rt.active))
+}
+
+// Lookup returns the reserved output for a flit arriving on input in at
+// the given cycle (grace-window entries still route).
+func (rt *RouterTables) Lookup(in topology.Port, cycle int64) (topology.Port, bool) {
+	return rt.in[in].Lookup(rt.SlotOf(cycle), cycle)
+}
+
+// LookupSlot is Lookup with an explicit slot index.
+func (rt *RouterTables) LookupSlot(in topology.Port, slot int, now int64) (topology.Port, bool) {
+	return rt.in[in].Lookup(slot, now)
+}
+
+// OutReservedAt reports whether output out is promised to a circuit at the
+// given cycle, and if so which input port owns it. Time-slot stealing
+// (Section II-D) consults this: a reserved output with no arriving CS flit
+// may be used by a packet-switched flit.
+func (rt *RouterTables) OutReservedAt(cycle int64, out topology.Port) (topology.Port, bool) {
+	slot := rt.SlotOf(cycle)
+	if !rt.outBusy[slot][out] && cycle >= rt.outGrace[slot][out] {
+		return 0, false
+	}
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if o, ok := rt.in[p].Lookup(slot, cycle); ok && o == out {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// CanReserve reports whether dur consecutive slots starting at slot are
+// free on input in toward output out at cycle now, under the occupancy cap.
+func (rt *RouterTables) CanReserve(in, out topology.Port, slot, dur int, now int64) bool {
+	tbl := rt.in[in]
+	if float64(tbl.Reserved()+dur) > rt.ReserveCap*float64(rt.active) {
+		return false
+	}
+	for i := 0; i < dur; i++ {
+		s := (slot + i) % rt.active
+		if !tbl.Reservable(s, now) {
+			return false
+		}
+		if rt.outBusy[s][out] || now < rt.outGrace[s][out] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reserve books dur consecutive slots from slot on input in toward output
+// out. It reports false (leaving the tables untouched) if any slot is
+// unavailable — reservation is all-or-nothing, matching the setup-message
+// semantics where a failed hop aborts the whole reservation at that router.
+func (rt *RouterTables) Reserve(in, out topology.Port, slot, dur int, now int64) bool {
+	if !rt.CanReserve(in, out, slot, dur, now) {
+		return false
+	}
+	for i := 0; i < dur; i++ {
+		s := (slot + i) % rt.active
+		rt.in[in].Set(s, out, now)
+		rt.outBusy[s][out] = true
+	}
+	return true
+}
+
+// Release clears dur consecutive slots from slot on input in, returning
+// the output port the reservation used (needed by teardown messages to
+// follow the path). It reports false if the first slot was not reserved.
+// Cleared entries keep routing in-flight circuit-switched flits for
+// GracePeriod cycles before becoming reservable again.
+func (rt *RouterTables) Release(in topology.Port, slot, dur int, now int64) (topology.Port, bool) {
+	first, ok := rt.in[in].entries[slot%rt.active], true
+	if !first.Valid {
+		return 0, false
+	}
+	_ = ok
+	for i := 0; i < dur; i++ {
+		s := (slot + i) % rt.active
+		if out, valid := rt.in[in].Clear(s, now); valid {
+			rt.outBusy[s][out] = false
+			rt.outGrace[s][out] = now + GracePeriod
+		}
+	}
+	return first.Out, true
+}
+
+// ReservedEntries returns the total valid entries across all input tables
+// (used by tests and stats).
+func (rt *RouterTables) ReservedEntries() int {
+	n := 0
+	for _, t := range rt.in {
+		n += t.Reserved()
+	}
+	return n
+}
+
+// DurationAt counts the consecutive reserved slots on input in starting at
+// slot that share one output port — recovering a live reservation's length
+// from table state alone (used when advertising pass-through circuits to
+// the DLT).
+func (rt *RouterTables) DurationAt(in topology.Port, slot int, now int64) int {
+	out, ok := rt.in[in].Lookup(slot, now)
+	if !ok {
+		return 0
+	}
+	n := 1
+	for n < rt.active {
+		o, ok := rt.in[in].Lookup((slot+n)%rt.active, now)
+		if !ok || o != out {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// ActivePoweredEntries returns the number of powered slot-table entries in
+// this router (active size times input ports) for leakage accounting.
+func (rt *RouterTables) ActivePoweredEntries() int {
+	return rt.active * int(topology.NumPorts)
+}
+
+// Reset clears every table and sets a new active size (network-wide
+// dynamic resizing).
+func (rt *RouterTables) Reset(newActive int) {
+	for _, t := range rt.in {
+		t.Reset(newActive)
+	}
+	for i := range rt.outBusy {
+		rt.outBusy[i] = [topology.NumPorts]bool{}
+		rt.outGrace[i] = [topology.NumPorts]int64{}
+	}
+	rt.active = newActive
+}
+
+// SlotAtHop returns the slot index a circuit based at slot base occupies
+// at hop h: the circuit-switched datapath is two-stage pipelined (one
+// cycle through the router, one on the link), so the phase advances by 2
+// per hop, modulo the active table size.
+func SlotAtHop(base, hop, active int) int {
+	return (base + 2*hop) % active
+}

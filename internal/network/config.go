@@ -1,0 +1,153 @@
+// Package network assembles routers into a mesh NoC with per-tile network
+// interfaces (NIs). The NI carries the source-side half of the paper's
+// protocol: the switching decision (Section II-A, V-A2), circuit setup and
+// teardown with retries (Section II-B), hitchhiker- and vicinity-sharing
+// (Section III-A), and the network-wide dynamic slot-table sizing loop
+// (Section II-C).
+package network
+
+import (
+	"tdmnoc/internal/power"
+	"tdmnoc/internal/router"
+)
+
+// Config describes one simulated network.
+type Config struct {
+	// Width and Height of the mesh (Table I: 6x6).
+	Width, Height int
+	// Router is the per-router configuration.
+	Router router.Config
+	// Seed drives all randomness; identical seeds reproduce runs exactly.
+	Seed uint64
+	// Workers selects executor parallelism (1 = serial; results identical).
+	Workers int
+
+	// HybridSwitching enables NI-side circuit switching decisions; it
+	// requires Router.Hybrid.
+	HybridSwitching bool
+	// Sharing enables hitchhiker- and vicinity-sharing at the NIs
+	// (requires Router.Sharing for DLT event generation).
+	Sharing bool
+	// DynamicSlots enables the network-wide slot-table sizing policy.
+	DynamicSlots bool
+
+	// PSDataFlits and CSDataFlits are the data packet lengths of Table I
+	// (5 and 4; a vicinity-shared CS packet adds a header flit for 5).
+	PSDataFlits int
+	CSDataFlits int
+
+	// SetupThreshold messages to one destination within FreqWindow cycles
+	// trigger a circuit setup.
+	SetupThreshold int
+	FreqWindow     int64
+	// MaxCircuits bounds registered circuits per source.
+	MaxCircuits int
+	// MaxBlocksPerCircuit bounds how many consecutive-slot blocks one
+	// connection may hold; extra blocks scale a hot connection's
+	// bandwidth in units of Duration/ActiveSlots (Section II-C's
+	// time-division granularity).
+	MaxBlocksPerCircuit int
+	// OverflowForExtraBlock is how many circuit-wait rejections trigger a
+	// request for an additional block.
+	OverflowForExtraBlock int
+	// RetrySetups is how many times a failed setup is re-sent with a
+	// different slot id before giving up (until the frequency counter
+	// re-triggers it).
+	RetrySetups int
+	// IdleTeardown is the idle time after which a circuit becomes a
+	// teardown candidate when capacity is needed.
+	IdleTeardown int64
+	// DefaultSlack is the extra latency (cycles, versus the estimated
+	// packet-switched latency) a message will tolerate to ride a circuit
+	// when the sender did not specify its own slack.
+	DefaultSlack int
+	// DrainWindow is how many cycles the resize manager waits after
+	// stopping circuit-switched injection before resetting the slot
+	// tables, so in-flight CS flits land first.
+	DrainWindow int
+
+	// Power is the technology parameter set for energy reporting.
+	Power power.Params
+}
+
+// DefaultConfig returns the Table-I baseline network: a 6x6 mesh of
+// packet-switched 4-VC routers.
+func DefaultConfig(width, height int) Config {
+	return Config{
+		Width: width, Height: height,
+		Router:                router.DefaultConfig(),
+		Seed:                  1,
+		Workers:               1,
+		PSDataFlits:           5,
+		CSDataFlits:           4,
+		SetupThreshold:        4,
+		FreqWindow:            2048,
+		MaxCircuits:           8,
+		MaxBlocksPerCircuit:   4,
+		OverflowForExtraBlock: 8,
+		RetrySetups:           3,
+		IdleTeardown:          8192,
+		DefaultSlack:          64,
+		DrainWindow:           64,
+		Power:                 power.Default45nm(),
+	}
+}
+
+// HybridTDMConfig returns the Hybrid-TDM-VC4 configuration: hybrid routers
+// with 128-entry slot tables and NI-side circuit switching.
+func HybridTDMConfig(width, height int) Config {
+	c := DefaultConfig(width, height)
+	c.Router = router.HybridConfig()
+	c.HybridSwitching = true
+	c.DynamicSlots = true
+	c.Router.SlotActive = 16
+	return c
+}
+
+// WithSharing enables circuit-switched path sharing (the "hop"
+// configurations of Fig. 8).
+func (c Config) WithSharing() Config {
+	c.Sharing = true
+	c.Router.Sharing = true
+	return c
+}
+
+// WithVCGating enables aggressive VC power gating (the "VCt"
+// configurations).
+func (c Config) WithVCGating() Config {
+	c.Router.VCGating = true
+	return c
+}
+
+// WithLatencyVCGating selects the latency-driven gating refinement of
+// Section V-B4 instead of the utilisation-driven policy.
+func (c Config) WithLatencyVCGating() Config {
+	c.Router.VCGating = true
+	c.Router.LatencyVCGating = true
+	return c
+}
+
+// ReserveDuration is the consecutive-slot reservation length: the CS data
+// length, plus one slot for the vicinity-sharing header when sharing is on
+// (Section III-A2).
+func (c Config) ReserveDuration() int {
+	if c.Sharing {
+		return c.CSDataFlits + 1
+	}
+	return c.CSDataFlits
+}
+
+func (c Config) validate() {
+	if c.Width <= 0 || c.Height <= 0 {
+		panic("network: mesh dimensions must be positive")
+	}
+	if c.HybridSwitching && !c.Router.Hybrid {
+		panic("network: HybridSwitching requires Router.Hybrid")
+	}
+	if c.Sharing && !c.Router.Sharing {
+		panic("network: Sharing requires Router.Sharing")
+	}
+	if c.PSDataFlits <= 0 || c.CSDataFlits <= 0 {
+		panic("network: packet sizes must be positive")
+	}
+}

@@ -1,0 +1,265 @@
+package network
+
+import (
+	"tdmnoc/internal/hybrid"
+	"tdmnoc/internal/power"
+	"tdmnoc/internal/router"
+	"tdmnoc/internal/sim"
+	"tdmnoc/internal/stats"
+	"tdmnoc/internal/topology"
+)
+
+// Network is one simulated NoC: the mesh of routers, the per-tile NIs,
+// the executor that drives them, and the network-wide managers (dynamic
+// slot-table sizing).
+type Network struct {
+	cfg   Config
+	mesh  topology.Mesh
+	clock sim.Clock
+	exec  *sim.Executor
+
+	routers []*router.Router
+	nis     []*NI
+
+	resizer *hybrid.Resizer
+	// slotActive is the slot count the routers are actually using; it
+	// lags the resizer's decision by the drain window so NIs and routers
+	// always agree on the slot modulus.
+	slotActive int
+	epoch      int
+	csFrozen   bool
+	resizeAt   sim.Cycle // non-zero while a reset is scheduled
+	resizeTo   int
+}
+
+// EndpointFactory builds the traffic endpoint for each tile; it may
+// return nil for tiles that only sink traffic.
+type EndpointFactory func(id topology.NodeID) Endpoint
+
+// New builds a network from cfg, attaching endpoints from mk.
+func New(cfg Config, mk EndpointFactory) *Network {
+	cfg.validate()
+	n := &Network{cfg: cfg, mesh: topology.NewMesh(cfg.Width, cfg.Height)}
+
+	if cfg.Router.Hybrid && cfg.DynamicSlots {
+		n.resizer = hybrid.DefaultResizer(cfg.Router.SlotCapacity)
+	} else {
+		n.resizer = hybrid.FixedResizer(max(1, cfg.Router.SlotCapacity))
+	}
+	n.slotActive = n.resizer.Active()
+	if cfg.Router.Hybrid {
+		n.cfg.Router.SlotActive = n.resizer.Active()
+	}
+
+	nodes := n.mesh.Nodes()
+	n.routers = make([]*router.Router, nodes)
+	for id := 0; id < nodes; id++ {
+		n.routers[id] = router.New(topology.NodeID(id), n.mesh, n.cfg.Router)
+	}
+	for id := 0; id < nodes; id++ {
+		for _, p := range []topology.Port{topology.North, topology.East, topology.South, topology.West} {
+			if nb, ok := n.mesh.Neighbor(topology.NodeID(id), p); ok {
+				n.routers[id].Connect(p, n.routers[nb])
+			}
+		}
+	}
+
+	master := sim.NewRNG(cfg.Seed)
+	n.nis = make([]*NI, nodes)
+	for id := 0; id < nodes; id++ {
+		var ep Endpoint
+		if mk != nil {
+			ep = mk(topology.NodeID(id))
+		}
+		n.nis[id] = newNI(topology.NodeID(id), n, n.routers[id], master.Fork(), ep)
+	}
+
+	tickers := make([]sim.Ticker, 0, 2*nodes)
+	for _, r := range n.routers {
+		tickers = append(tickers, r)
+	}
+	for _, ni := range n.nis {
+		tickers = append(tickers, ni)
+	}
+	n.exec = sim.NewExecutor(&n.clock, tickers, cfg.Workers)
+	return n
+}
+
+// Close releases the executor's worker pool.
+func (n *Network) Close() { n.exec.Close() }
+
+// Mesh returns the network topology.
+func (n *Network) Mesh() topology.Mesh { return n.mesh }
+
+// Now returns the current simulation cycle.
+func (n *Network) Now() sim.Cycle { return n.clock.Now() }
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NI returns the network interface of tile id.
+func (n *Network) NI(id topology.NodeID) *NI { return n.nis[id] }
+
+// Router returns the router of tile id.
+func (n *Network) Router(id topology.NodeID) *router.Router { return n.routers[id] }
+
+// ActiveSlots is the network-wide active slot-table size currently in
+// force at the routers (a pending resize only takes effect after the
+// drain window).
+func (n *Network) ActiveSlots() int { return n.slotActive }
+
+// ResizeEvents reports how many dynamic slot-table doublings occurred.
+func (n *Network) ResizeEvents() int { return n.resizer.ResizeEvents() }
+
+// Step advances the simulation one cycle, then runs the between-cycle
+// manager (dynamic slot-table sizing).
+func (n *Network) Step() {
+	n.exec.Step()
+	n.manage()
+}
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// RunUntil steps until done reports true or limit cycles elapse.
+func (n *Network) RunUntil(done func() bool, limit int) (int, bool) {
+	for i := 0; i < limit; i++ {
+		n.Step()
+		if done() {
+			return i + 1, true
+		}
+	}
+	return limit, false
+}
+
+// manage is the serial between-cycle management step: it feeds setup
+// outcomes to the resizing policy and orchestrates the freeze → drain →
+// reset sequence of Section II-C.
+func (n *Network) manage() {
+	if !n.cfg.DynamicSlots {
+		for _, ni := range n.nis {
+			ni.setupResults = ni.setupResults[:0]
+		}
+		return
+	}
+	now := n.clock.Now()
+	for _, ni := range n.nis {
+		for _, ok := range ni.setupResults {
+			if newActive, resized := n.resizer.RecordSetupResult(ok); resized && n.resizeAt == 0 {
+				n.resizeTo = newActive
+				n.resizeAt = now + sim.Cycle(n.cfg.DrainWindow)
+				n.csFrozen = true
+				n.epoch++
+			}
+		}
+		ni.setupResults = ni.setupResults[:0]
+	}
+	if n.resizeAt != 0 && now >= n.resizeAt {
+		for _, r := range n.routers {
+			r.ResetCircuits(n.resizeTo, n.epoch)
+		}
+		for _, ni := range n.nis {
+			ni.onResize()
+		}
+		n.slotActive = n.resizeTo
+		n.resizeAt = 0
+		n.csFrozen = false
+	}
+}
+
+// AttachEventSink installs a router-event trace sink on every router.
+// Only supported with a serial executor: the sink runs inside router
+// compute ticks, which execute concurrently when Workers > 1.
+func (n *Network) AttachEventSink(s router.EventSink) {
+	if n.cfg.Workers > 1 {
+		panic("network: event tracing requires Workers == 1")
+	}
+	for _, r := range n.routers {
+		r.SetEventSink(s)
+	}
+}
+
+// EnableStats starts statistics collection (call after warm-up) and
+// resets the energy meters so energy covers the measured region only.
+func (n *Network) EnableStats() {
+	for _, ni := range n.nis {
+		ni.Stats.Enabled = true
+	}
+	for _, r := range n.routers {
+		r.Meter().Reset()
+		// Re-count the static link channels lost in the reset.
+		lc := int64(1)
+		for _, p := range []topology.Port{topology.North, topology.East, topology.South, topology.West} {
+			if _, ok := n.mesh.Neighbor(r.ID(), p); ok {
+				lc++
+			}
+		}
+		r.Meter().LinkChannels = lc
+	}
+}
+
+// Stats merges every NI's collector.
+func (n *Network) Stats() stats.Collector {
+	var out stats.Collector
+	for _, ni := range n.nis {
+		out.Merge(&ni.Stats)
+	}
+	return out
+}
+
+// Energy merges every router's meter into one breakdown and adds the
+// NI-side DLT access energy to the circuit-switching component.
+func (n *Network) Energy() power.Breakdown {
+	var out power.Breakdown
+	for _, r := range n.routers {
+		out = out.Add(r.Meter().Report(n.cfg.Power))
+	}
+	dlt := int64(0)
+	for _, ni := range n.nis {
+		dlt += ni.dltAccesses
+	}
+	out.DynamicPJ[power.CompCS] += float64(dlt) * n.cfg.Power.DLTPJ
+	return out
+}
+
+// Diagnostics sums the protocol-invariant counters across routers; every
+// field should be zero except StolenSlots.
+type Diagnostics struct {
+	MisroutedCS    int64
+	DroppedCS      int64
+	LatchConflicts int64
+	StolenSlots    int64
+}
+
+// Diagnose aggregates router diagnostics.
+func (n *Network) Diagnose() Diagnostics {
+	var d Diagnostics
+	for _, r := range n.routers {
+		d.MisroutedCS += r.MisroutedCS
+		d.DroppedCS += r.DroppedCS
+		d.LatchConflicts += r.LatchConflicts
+		d.StolenSlots += r.StolenSlots
+	}
+	return d
+}
+
+// InFlight reports packets sent but not yet finally ejected.
+func (n *Network) InFlight() int64 {
+	var sent, ejected int64
+	for _, ni := range n.nis {
+		sent += ni.TotalSent
+		ejected += ni.TotalEjected
+	}
+	return sent - ejected
+}
+
+// Drain runs until every sent packet has been ejected or limit cycles
+// pass; endpoints should have stopped generating first.
+func (n *Network) Drain(limit int) bool {
+	_, ok := n.RunUntil(func() bool { return n.InFlight() == 0 }, limit)
+	return ok
+}

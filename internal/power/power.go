@@ -1,0 +1,215 @@
+// Package power is the reproduction's stand-in for Orion 2.0 plus the
+// paper's RTL calibration: a parametric event-based energy model for NoC
+// routers at 45 nm / 1.0 V / 1.5 GHz (Table I).
+//
+// The model is deliberately simple and transparent: every router keeps
+// integer counters of microarchitectural events (buffer reads/writes,
+// crossbar traversals, arbitrations, link flits, slot-table accesses) and
+// integer integrators of leaky-component occupancy (active buffer slots x
+// cycles, active slot-table entries x cycles). Energy is computed only at
+// report time from the counters and the per-event constants in Params.
+//
+// Absolute joules are not the point — the paper reports *relative* savings
+// — so the default constants are calibrated to make the baseline
+// packet-switched router's energy breakdown match the proportions of
+// Fig. 9 (buffers roughly a third of dynamic energy, clock a quarter, link
+// a fifth; leakage dominated by input buffers). All savings reported by
+// the experiments are measured outcomes of the simulation, not assertions.
+package power
+
+import "fmt"
+
+// Component identifies an energy sink in the breakdown, matching the
+// categories of Fig. 9.
+type Component int
+
+const (
+	// CompBuffer is input buffer read/write energy and buffer leakage.
+	CompBuffer Component = iota
+	// CompCS is everything added for circuit switching: slot tables,
+	// circuit-switched latches, demultiplexers, and the DLT.
+	CompCS
+	// CompXbar is crossbar traversal energy and leakage.
+	CompXbar
+	// CompArb is VC and switch allocator energy.
+	CompArb
+	// CompClock is the router clock tree.
+	CompClock
+	// CompLink is inter-router wire energy.
+	CompLink
+	// NumComponents is the number of breakdown categories.
+	NumComponents
+)
+
+// String returns the Fig. 9 label for the component.
+func (c Component) String() string {
+	switch c {
+	case CompBuffer:
+		return "buffer"
+	case CompCS:
+		return "cs-component"
+	case CompXbar:
+		return "crossbar"
+	case CompArb:
+		return "arbiter"
+	case CompClock:
+		return "clock"
+	case CompLink:
+		return "link"
+	}
+	return fmt.Sprintf("Component(%d)", int(c))
+}
+
+// Params holds the technology constants. Dynamic energies are picojoules
+// per event; leakage values are milliwatts per leaking instance.
+type Params struct {
+	// FrequencyHz converts cycles to seconds for static energy.
+	FrequencyHz float64
+
+	// Dynamic energy per event (pJ).
+	BufferWritePJ   float64 // per flit written into an input VC buffer
+	BufferReadPJ    float64 // per flit read out of an input VC buffer
+	XbarPJ          float64 // per flit crossing the crossbar
+	VCArbPJ         float64 // per VC allocation performed
+	SWArbPJ         float64 // per switch allocation grant
+	LinkPJ          float64 // per flit per link traversal
+	ClockPJPerCycle float64 // clock tree, per router per cycle (gated off with the router idle fraction)
+	SlotReadPJ      float64 // per slot-table lookup
+	SlotWritePJ     float64 // per slot-table entry update
+	CSLatchPJ       float64 // per circuit-switched flit latched/bypassing
+	DLTPJ           float64 // per destination-lookup-table access
+
+	// Leakage (mW per instance).
+	BufferLeakMWPerSlot  float64 // per flit-slot of active buffering
+	SlotLeakMWPerEntry   float64 // per active slot-table entry (per input port)
+	XbarLeakMW           float64 // per router
+	ArbLeakMW            float64 // per router
+	CSFixedLeakMW        float64 // latches + demux + comparators, per hybrid router
+	ClockLeakMW          float64 // per router
+	LinkLeakMWPerChannel float64 // per unidirectional link
+}
+
+// Default45nm returns the calibrated 45 nm / 1.0 V / 1.5 GHz parameter set.
+func Default45nm() Params {
+	return Params{
+		FrequencyHz: 1.5e9,
+
+		BufferWritePJ:   1.15,
+		BufferReadPJ:    0.95,
+		XbarPJ:          0.84,
+		VCArbPJ:         0.12,
+		SWArbPJ:         0.12,
+		LinkPJ:          1.20,
+		ClockPJPerCycle: 0.80,
+		SlotReadPJ:      0.020,
+		SlotWritePJ:     0.055,
+		CSLatchPJ:       0.060,
+		DLTPJ:           0.030,
+
+		BufferLeakMWPerSlot:  0.0200, // 100 slots (5 ports x 4 VCs x 5 deep) -> 2.0 mW/router
+		SlotLeakMWPerEntry:   0.000115,
+		XbarLeakMW:           0.22,
+		ArbLeakMW:            0.06,
+		CSFixedLeakMW:        0.018,
+		ClockLeakMW:          0.30,
+		LinkLeakMWPerChannel: 0.020,
+	}
+}
+
+// RouterMeter accumulates energy-relevant events for one router (plus its
+// outgoing links). All fields are plain integers so the per-cycle cost of
+// metering is negligible and report-time conversion is exact.
+type RouterMeter struct {
+	// Dynamic event counts.
+	BufWrites   int64
+	BufReads    int64
+	XbarFlits   int64
+	VCArbs      int64
+	SWArbs      int64
+	LinkFlits   int64
+	SlotReads   int64
+	SlotWrites  int64
+	CSLatches   int64
+	DLTAccesses int64
+
+	// ActiveCycles counts cycles in which the router did any work; the
+	// clock tree burns dynamic energy only on those (simple clock gating).
+	ActiveCycles int64
+	// Cycles counts every simulated cycle (for leakage).
+	Cycles int64
+
+	// Leakage integrators: instance-cycles of powered-on state.
+	BufSlotCycles   int64 // active buffer slots x cycles (VC power gating shrinks this)
+	SlotEntryCycles int64 // active slot-table entries x cycles (dynamic sizing shrinks this)
+	CSCycles        int64 // cycles the fixed CS hardware is present (0 for pure PS routers)
+	LinkChannels    int64 // number of outgoing channels (leak for Cycles)
+}
+
+// Breakdown is per-component dynamic and static energy in picojoules.
+type Breakdown struct {
+	DynamicPJ [NumComponents]float64
+	StaticPJ  [NumComponents]float64
+}
+
+// TotalDynamicPJ sums dynamic energy across components.
+func (b Breakdown) TotalDynamicPJ() float64 {
+	t := 0.0
+	for _, v := range b.DynamicPJ {
+		t += v
+	}
+	return t
+}
+
+// TotalStaticPJ sums static energy across components.
+func (b Breakdown) TotalStaticPJ() float64 {
+	t := 0.0
+	for _, v := range b.StaticPJ {
+		t += v
+	}
+	return t
+}
+
+// TotalPJ is dynamic + static energy.
+func (b Breakdown) TotalPJ() float64 { return b.TotalDynamicPJ() + b.TotalStaticPJ() }
+
+// Add accumulates o into b and returns the sum.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	for i := 0; i < int(NumComponents); i++ {
+		b.DynamicPJ[i] += o.DynamicPJ[i]
+		b.StaticPJ[i] += o.StaticPJ[i]
+	}
+	return b
+}
+
+// leakPJ converts mW sustained for cycles at frequency f to picojoules:
+// mW * 1e-3 W * (cycles / f) s * 1e12 pJ/J.
+func leakPJ(mw float64, cycles int64, f float64) float64 {
+	return mw * 1e9 * float64(cycles) / f
+}
+
+// Report converts the meter's counters into an energy breakdown.
+func (m *RouterMeter) Report(p Params) Breakdown {
+	var b Breakdown
+	b.DynamicPJ[CompBuffer] = float64(m.BufWrites)*p.BufferWritePJ + float64(m.BufReads)*p.BufferReadPJ
+	b.DynamicPJ[CompXbar] = float64(m.XbarFlits) * p.XbarPJ
+	b.DynamicPJ[CompArb] = float64(m.VCArbs)*p.VCArbPJ + float64(m.SWArbs)*p.SWArbPJ
+	b.DynamicPJ[CompLink] = float64(m.LinkFlits) * p.LinkPJ
+	b.DynamicPJ[CompClock] = float64(m.ActiveCycles) * p.ClockPJPerCycle
+	b.DynamicPJ[CompCS] = float64(m.SlotReads)*p.SlotReadPJ +
+		float64(m.SlotWrites)*p.SlotWritePJ +
+		float64(m.CSLatches)*p.CSLatchPJ +
+		float64(m.DLTAccesses)*p.DLTPJ
+
+	f := p.FrequencyHz
+	b.StaticPJ[CompBuffer] = leakPJ(p.BufferLeakMWPerSlot, m.BufSlotCycles, f)
+	b.StaticPJ[CompCS] = leakPJ(p.SlotLeakMWPerEntry, m.SlotEntryCycles, f) +
+		leakPJ(p.CSFixedLeakMW, m.CSCycles, f)
+	b.StaticPJ[CompXbar] = leakPJ(p.XbarLeakMW, m.Cycles, f)
+	b.StaticPJ[CompArb] = leakPJ(p.ArbLeakMW, m.Cycles, f)
+	b.StaticPJ[CompClock] = leakPJ(p.ClockLeakMW, m.Cycles, f)
+	b.StaticPJ[CompLink] = leakPJ(p.LinkLeakMWPerChannel, m.Cycles*m.LinkChannels, f)
+	return b
+}
+
+// Reset zeroes every counter.
+func (m *RouterMeter) Reset() { *m = RouterMeter{} }

@@ -1,0 +1,43 @@
+package router
+
+import (
+	"fmt"
+
+	"tdmnoc/internal/topology"
+)
+
+// DebugState returns human-readable lines describing every occupied
+// buffer, latch and register in the router — a diagnostic aid for tests
+// chasing stuck flits. An idle router returns nil.
+func (r *Router) DebugState() []string {
+	var out []string
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		iu := &r.in[p]
+		for v := range iu.vcs {
+			vc := &iu.vcs[v]
+			if len(vc.q) == 0 {
+				continue
+			}
+			f := vc.q[0]
+			out = append(out, fmt.Sprintf(
+				"router %d in[%v].vc[%d]: %d flits state=%d front{id=%d kind=%v src=%d dst=%d seq=%d} out=%v outVC=%d credits=%v vcFree=%v ready=%d",
+				r.id, p, v, len(vc.q), vc.state, f.Pkt.ID, f.Pkt.Kind, f.Pkt.Src, f.Pkt.Dst, f.Seq,
+				vc.outPort, vc.outVC, r.out[vc.outPort].credits, r.out[vc.outPort].vcFree, vc.ready))
+		}
+		if iu.latch != nil {
+			out = append(out, fmt.Sprintf("router %d in[%v].latch occupied (id=%d)", r.id, p, iu.latch.Pkt.ID))
+		}
+		if iu.linkReg != nil {
+			out = append(out, fmt.Sprintf("router %d in[%v].linkReg occupied (id=%d)", r.id, p, iu.linkReg.Pkt.ID))
+		}
+	}
+	for o := topology.Port(0); o < topology.NumPorts; o++ {
+		if f := r.out[o].stReg; f != nil {
+			out = append(out, fmt.Sprintf("router %d out[%v].stReg pkt{id=%d kind=%v CS=%v}", r.id, o, f.Pkt.ID, f.Pkt.Kind, f.CS))
+		}
+		if f := r.out[o].latch; f != nil {
+			out = append(out, fmt.Sprintf("router %d out[%v].latch pkt{id=%d}", r.id, o, f.Pkt.ID))
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package router
+
+import (
+	"fmt"
+	"io"
+
+	"tdmnoc/internal/topology"
+)
+
+// EventKind classifies a router-level event for debug tracing.
+type EventKind uint8
+
+const (
+	// EvBufferWrite: a packet-switched flit entered an input VC buffer.
+	EvBufferWrite EventKind = iota
+	// EvPSTraverse: a packet-switched flit crossed the crossbar.
+	EvPSTraverse
+	// EvCSBypass: a circuit-switched flit took the single-cycle bypass.
+	EvCSBypass
+	// EvSteal: a packet-switched flit used a reserved-but-idle slot.
+	EvSteal
+	// EvSetupReserve: a setup message reserved slots here.
+	EvSetupReserve
+	// EvSetupFail: a setup message was rejected here.
+	EvSetupFail
+	// EvTeardownRelease: a teardown released slots here.
+	EvTeardownRelease
+)
+
+// String returns a short mnemonic.
+func (k EventKind) String() string {
+	switch k {
+	case EvBufferWrite:
+		return "bufw"
+	case EvPSTraverse:
+		return "ps"
+	case EvCSBypass:
+		return "cs"
+	case EvSteal:
+		return "steal"
+	case EvSetupReserve:
+		return "setup+"
+	case EvSetupFail:
+		return "setup-"
+	case EvTeardownRelease:
+		return "teardown"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one traced router event.
+type Event struct {
+	Cycle  int64
+	Router topology.NodeID
+	Kind   EventKind
+	In     topology.Port
+	Out    topology.Port
+	PktID  uint64
+	Seq    int
+	Slot   int
+}
+
+// EventSink receives traced events. Sinks run inside the router's compute
+// phase: they must not touch other simulation entities, and event tracing
+// is only supported with a serial executor (Workers == 1).
+type EventSink func(Event)
+
+// SetEventSink installs (or, with nil, removes) the router's event sink.
+func (r *Router) SetEventSink(s EventSink) { r.events = s }
+
+func (r *Router) emit(e Event) {
+	if r.events != nil {
+		e.Router = r.id
+		r.events(e)
+	}
+}
+
+// WriteEvents returns an EventSink that renders events as text lines:
+//
+//	cycle=1042 router=7 kind=cs in=W out=L pkt=281474976710667 seq=2 slot=14
+func WriteEvents(w io.Writer) EventSink {
+	return func(e Event) {
+		fmt.Fprintf(w, "cycle=%d router=%d kind=%s in=%v out=%v pkt=%d seq=%d slot=%d\n",
+			e.Cycle, e.Router, e.Kind, e.In, e.Out, e.PktID, e.Seq, e.Slot)
+	}
+}

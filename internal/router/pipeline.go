@@ -1,0 +1,465 @@
+package router
+
+import (
+	"tdmnoc/internal/flit"
+	"tdmnoc/internal/routing"
+	"tdmnoc/internal/sim"
+	"tdmnoc/internal/topology"
+)
+
+// acceptIncoming demultiplexes the flits delivered by the links this
+// cycle: circuit-switched flits go straight to the crossbar bypass (their
+// output port comes from the slot table), packet-switched flits are
+// written into their VC buffers.
+func (r *Router) acceptIncoming(now sim.Cycle) bool {
+	busy := false
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		iu := &r.in[p]
+		f := iu.latch
+		if f == nil {
+			continue
+		}
+		iu.latch = nil
+		busy = true
+		if r.tables != nil {
+			r.meter.SlotReads++ // the demux consults the slot table for every arrival
+		}
+		if f.CS {
+			r.acceptCS(now, p, f)
+			continue
+		}
+		vc := &iu.vcs[f.VC]
+		if len(vc.q) >= r.cfg.BufDepth {
+			r.LatchConflicts++ // credit protocol violation
+		}
+		f.BufferedAt = int64(now)
+		vc.push(f)
+		r.meter.BufWrites++
+		r.emit(Event{Cycle: int64(now), Kind: EvBufferWrite, In: p, PktID: f.Pkt.ID, Seq: f.Seq})
+		if len(vc.q) == 1 && vc.state == vcIdle {
+			if f.IsHead() {
+				vc.state = vcRouting
+				vc.ready = now
+			} else {
+				r.LatchConflicts++ // body flit with no owning packet
+			}
+		}
+	}
+	return busy
+}
+
+// acceptCS steers a circuit-switched flit to its reserved output. A
+// hitchhiker entering at the local port rides the slot-table entry of the
+// circuit it shares (recorded in the flit's ShareIn).
+func (r *Router) acceptCS(now sim.Cycle, p topology.Port, f *flit.Flit) {
+	if r.tables == nil {
+		r.MisroutedCS++
+		r.DroppedCS++
+		return
+	}
+	lookupPort := p
+	if f.Hitchhike && p == topology.Local {
+		lookupPort = f.ShareIn
+	}
+	out, ok := r.tables.Lookup(lookupPort, int64(now))
+	if !ok {
+		r.MisroutedCS++
+		r.DroppedCS++
+		return
+	}
+	if r.cfg.Sharing && f.IsHead() && !f.Hitchhike && p != topology.Local && out != topology.Local {
+		// A live circuit is passing through: (re-)advertise it for
+		// hitchhiker-sharing. Advertising on traffic rather than on setup
+		// messages guarantees the DLT only ever points at circuits whose
+		// end-to-end reservation succeeded.
+		slot := r.tables.SlotOf(int64(now))
+		dur := r.tables.DurationAt(p, slot, int64(now))
+		r.dltEvents = append(r.dltEvents, DLTEvent{Add: true, Dst: f.Pkt.Dst, Slot: slot, Dur: dur, In: p})
+	}
+	r.emit(Event{Cycle: int64(now), Kind: EvCSBypass, In: p, Out: out, PktID: f.Pkt.ID, Seq: f.Seq, Slot: r.tables.SlotOf(int64(now))})
+	if cur := r.csPending[out]; cur != nil {
+		// Two CS flits claim one output in the same slot. The circuit
+		// owner has priority over a hitchhiker; the loser is dropped and
+		// counted (the NI-side advance-signal check makes this
+		// unreachable in well-formed runs).
+		if cur.Hitchhike && !f.Hitchhike {
+			r.csPending[out] = f
+		}
+		r.DroppedCS++
+		return
+	}
+	r.csPending[out] = f
+}
+
+// switchTraversal moves last cycle's switch-allocation winners and this
+// cycle's circuit-switched arrivals through the crossbar into the output
+// latches. Circuit-switched flits have priority; a displaced winner
+// stalls in its ST register and retries next cycle.
+func (r *Router) switchTraversal(now sim.Cycle) bool {
+	did := false
+	for o := topology.Port(0); o < topology.NumPorts; o++ {
+		ou := &r.out[o]
+		if f := r.csPending[o]; f != nil {
+			r.csPending[o] = nil
+			if ou.latch == nil {
+				ou.latch = f
+				r.meter.XbarFlits++
+				r.meter.CSLatches++
+				r.meter.LinkFlits++
+				did = true
+			} else {
+				r.LatchConflicts++
+				r.DroppedCS++
+			}
+		}
+		if ou.stReg != nil && ou.latch == nil {
+			r.emit(Event{Cycle: int64(now), Kind: EvPSTraverse, Out: o, PktID: ou.stReg.Pkt.ID, Seq: ou.stReg.Seq})
+			ou.latch = ou.stReg
+			ou.stReg = nil
+			r.meter.XbarFlits++
+			r.meter.LinkFlits++
+			did = true
+		}
+	}
+	return did
+}
+
+// routeCompute runs the RC stage for every input VC whose head flit is
+// waiting, including the slot-reservation side effects of configuration
+// messages.
+func (r *Router) routeCompute(now sim.Cycle) {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		for v := range r.in[p].vcs {
+			vc := &r.in[p].vcs[v]
+			if vc.state != vcRouting || vc.ready > now {
+				continue
+			}
+			f := vc.front()
+			if f == nil || !f.IsHead() {
+				continue
+			}
+			switch f.Pkt.Kind {
+			case flit.SetupMsg:
+				r.processSetup(now, p, vc, f)
+			case flit.TeardownMsg:
+				r.processTeardown(now, p, vc)
+			default:
+				vc.route = r.dataRoute(f.Pkt)
+				vc.state = vcVCAlloc
+				vc.ready = now + 1
+			}
+		}
+	}
+}
+
+// dataRoute picks the output port for data packets (X-Y) and acks
+// (west-first adaptive when enabled, per Table I's adaptive routing for
+// configuration packets).
+func (r *Router) dataRoute(pkt *flit.Packet) topology.Port {
+	if pkt.Dst == r.id {
+		return topology.Local
+	}
+	if pkt.Kind == flit.AckMsg && r.cfg.AdaptiveConfigRouting {
+		return routing.WestFirst(r.mesh, r.id, pkt.Dst, r.congestion)
+	}
+	return routing.XY(r.mesh, r.id, pkt.Dst)
+}
+
+// congestion scores an output port for adaptive routing: fewer free
+// downstream credits means more congested. Lower score wins.
+func (r *Router) congestion(p topology.Port) int {
+	ou := &r.out[p]
+	if !ou.connected {
+		return 1 << 30
+	}
+	free := 0
+	for v := 0; v < r.allocLimit(p); v++ {
+		free += ou.credits[v]
+	}
+	return -free
+}
+
+// processSetup performs the Section II-B reservation step of a setup
+// message at this router: pick the output (adaptively), try to reserve
+// the requested slots on (input port, output), and either forward with
+// the slot id advanced by 2 or convert into a failure ack.
+func (r *Router) processSetup(now sim.Cycle, p topology.Port, vc *inputVC, f *flit.Flit) {
+	pkt := f.Pkt
+	cfgp := &pkt.Config
+	var out topology.Port
+	switch {
+	case pkt.Dst == r.id:
+		out = topology.Local
+	case r.cfg.AdaptiveConfigRouting:
+		out = routing.WestFirst(r.mesh, r.id, pkt.Dst, r.congestion)
+	default:
+		out = routing.XY(r.mesh, r.id, pkt.Dst)
+	}
+	ok := r.tables != nil && cfgp.Epoch == r.Epoch &&
+		r.tables.Reserve(p, out, cfgp.Slot, cfgp.Duration, int64(now))
+	if !ok {
+		r.emit(Event{Cycle: int64(now), Kind: EvSetupFail, In: p, Out: out, PktID: pkt.ID, Slot: cfgp.Slot})
+		r.convertToAck(now, vc, f, false)
+		return
+	}
+	r.emit(Event{Cycle: int64(now), Kind: EvSetupReserve, In: p, Out: out, PktID: pkt.ID, Slot: cfgp.Slot})
+	r.meter.SlotWrites += int64(cfgp.Duration)
+	cfgp.Hop++
+	if out == topology.Local {
+		r.convertToAck(now, vc, f, true)
+		return
+	}
+	cfgp.Slot = (cfgp.Slot + 2) % r.tables.Active()
+	vc.route = out
+	vc.state = vcVCAlloc
+	vc.ready = now + 1
+}
+
+// processTeardown releases this router's slots for the circuit and
+// follows the reserved path onward; when there is nothing to release (the
+// router where a failed setup stopped, or a stale-epoch teardown after a
+// reset) the message is consumed via the local port.
+func (r *Router) processTeardown(now sim.Cycle, p topology.Port, vc *inputVC) {
+	pkt := vc.front().Pkt
+	cfgp := &pkt.Config
+	out := topology.Local
+	if cfgp.Epoch != r.Epoch {
+		// A teardown from before a slot-table reset: everything it would
+		// release was already wiped, and the slots may have been re-reserved
+		// by new-epoch circuits it must not touch. Consume it.
+		vc.route = topology.Local
+		vc.state = vcVCAlloc
+		vc.ready = now + 1
+		return
+	}
+	if cfgp.FailHop > 0 && cfgp.Hop >= cfgp.FailHop {
+		// A failed setup reserved exactly FailHop routers; past that
+		// point the slots belong to other circuits and must not be
+		// touched. Consume the teardown here.
+		vc.route = topology.Local
+		vc.state = vcVCAlloc
+		vc.ready = now + 1
+		return
+	}
+	if r.tables != nil {
+		if o, ok := r.tables.Release(p, cfgp.Slot, cfgp.Duration, int64(now)); ok {
+			r.meter.SlotWrites += int64(cfgp.Duration)
+			out = o
+			r.emit(Event{Cycle: int64(now), Kind: EvTeardownRelease, In: p, Out: o, PktID: pkt.ID, Slot: cfgp.Slot})
+		}
+	}
+	if r.cfg.Sharing {
+		r.dltEvents = append(r.dltEvents, DLTEvent{Add: false, Dst: pkt.Dst})
+	}
+	if out != topology.Local {
+		cfgp.Slot = (cfgp.Slot + 2) % r.tables.Active()
+		cfgp.Hop++
+	}
+	vc.route = out
+	vc.state = vcVCAlloc
+	vc.ready = now + 1
+}
+
+// convertToAck rewrites the setup flit in place into an acknowledgement
+// heading back to the requesting source (Section II-B). FailHop records
+// how many routers successfully reserved, so the source's teardown can
+// walk exactly that prefix.
+func (r *Router) convertToAck(now sim.Cycle, vc *inputVC, f *flit.Flit, ok bool) {
+	orig := f.Pkt
+	f.Pkt = &flit.Packet{
+		ID:    orig.ID,
+		Kind:  flit.AckMsg,
+		Src:   r.id,
+		Dst:   orig.Src,
+		Class: flit.ClassConfig,
+		Flits: 1,
+		ReqID: orig.ID,
+		Config: flit.ConfigPayload{
+			Slot:       orig.Config.Slot,
+			BaseSlot:   orig.Config.BaseSlot,
+			Duration:   orig.Config.Duration,
+			Hop:        orig.Config.Hop,
+			OK:         ok,
+			FailHop:    orig.Config.Hop,
+			Epoch:      orig.Config.Epoch,
+			CircuitDst: orig.Dst,
+		},
+		CreatedAt:  int64(now),
+		InjectedAt: int64(now),
+	}
+	// Re-run route computation next cycle with the new destination.
+	vc.state = vcRouting
+	vc.ready = now + 1
+}
+
+// vcAllocate is the VA stage: a separable allocator that matches waiting
+// head packets to free downstream VCs, round-robin on both sides.
+func (r *Router) vcAllocate(now sim.Cycle) {
+	n := int(topology.NumPorts) * r.cfg.VCs
+	for o := topology.Port(0); o < topology.NumPorts; o++ {
+		ou := &r.out[o]
+		if !ou.connected {
+			continue
+		}
+		limit := r.allocLimit(o)
+		for i := 0; i < n; i++ {
+			idx := (ou.rrVA + i) % n
+			p := topology.Port(idx / r.cfg.VCs)
+			v := idx % r.cfg.VCs
+			vc := &r.in[p].vcs[v]
+			if vc.state != vcVCAlloc || vc.ready > now || vc.route != o {
+				continue
+			}
+			got := -1
+			for j := 0; j < limit; j++ {
+				ovc := (ou.rrVC + j) % limit
+				if ou.vcFree[ovc] {
+					got = ovc
+					break
+				}
+			}
+			if got < 0 {
+				break // no downstream VCs left at this output
+			}
+			ou.vcFree[got] = false
+			ou.rrVC = (got + 1) % limit
+			vc.state = vcActive
+			vc.outPort = o
+			vc.outVC = got
+			vc.ready = now + 1
+			r.meter.VCArbs++
+			ou.rrVA = (idx + 1) % n
+		}
+	}
+}
+
+// csBlocked reports whether output o must be left free for the
+// circuit-switched path at cycle now+1 (the traversal cycle of any switch
+// allocation granted now). A reserved slot whose circuit flit is not
+// arriving may be stolen when time-slot stealing is enabled.
+func (r *Router) csBlocked(now sim.Cycle, o topology.Port) bool {
+	if r.tables == nil {
+		return false
+	}
+	next := int64(now + 1)
+	inP, reserved := r.tables.OutReservedAt(next, o)
+	if reserved {
+		if r.IncomingCS(inP) {
+			return true // the owner's flit is arriving
+		}
+		// A CS flit injected by the local NI for this cycle (owner or
+		// hitchhiker) is not visible here until it arrives; if one shows
+		// up it takes crossbar priority and the granted flit stalls one
+		// cycle in its ST register — see switchTraversal.
+		return !r.cfg.TimeSlotStealing
+	}
+	return false
+}
+
+// switchAllocate is the SA stage: an iSLIP-style separable allocator.
+// Each iteration picks one ready VC per still-unmatched input port, then
+// one input per still-unmatched output port; extra iterations
+// (Config.SAIterations) fill holes the first pass leaves under
+// contention. Winners are read from their buffers into the ST registers
+// and credits return upstream.
+func (r *Router) switchAllocate(now sim.Cycle) bool {
+	iters := r.cfg.SAIterations
+	if iters < 1 {
+		iters = 1
+	}
+	did := false
+	var inputMatched [topology.NumPorts]bool
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		if r.IncomingCS(p) {
+			inputMatched[p] = true // crossbar input claimed by an arriving CS flit
+		}
+	}
+	for it := 0; it < iters; it++ {
+		var winners [topology.NumPorts]*inputVC
+		var winnerVC [topology.NumPorts]int
+		any := false
+		for p := topology.Port(0); p < topology.NumPorts; p++ {
+			if inputMatched[p] {
+				continue
+			}
+			iu := &r.in[p]
+			nv := r.cfg.VCs
+			for i := 0; i < nv; i++ {
+				v := (iu.rrVC + i) % nv
+				vc := &iu.vcs[v]
+				if vc.state != vcActive || vc.ready > now || vc.empty() {
+					continue
+				}
+				ou := &r.out[vc.outPort]
+				if ou.stReg != nil {
+					continue // output already matched or stalled by CS priority
+				}
+				if vc.outPort != topology.Local && ou.credits[vc.outVC] <= 0 {
+					continue
+				}
+				if r.csBlocked(now, vc.outPort) {
+					continue
+				}
+				winners[p] = vc
+				winnerVC[p] = v
+				any = true
+				break
+			}
+		}
+		if !any {
+			break
+		}
+		np := int(topology.NumPorts)
+		for o := topology.Port(0); o < topology.NumPorts; o++ {
+			ou := &r.out[o]
+			if ou.stReg != nil {
+				continue
+			}
+			for i := 0; i < np; i++ {
+				p := topology.Port((ou.rrIn + i) % np)
+				vc := winners[p]
+				if vc == nil || vc.outPort != o || inputMatched[p] {
+					continue
+				}
+				f := vc.pop()
+				r.meter.BufReads++
+				r.meter.SWArbs++
+				if r.latGate != nil {
+					r.latGate.ObserveDelay(int64(now) - f.BufferedAt)
+				}
+				// Advance the input's VC pointer only on a grant (iSLIP's
+				// "pointer moves on accept" rule, which gives fairness).
+				r.in[p].rrVC = (winnerVC[p] + 1) % r.cfg.VCs
+				f.VC = vc.outVC
+				ou.stReg = f
+				if r.tables != nil {
+					if _, res := r.tables.OutReservedAt(int64(now+1), o); res {
+						r.StolenSlots++
+						r.emit(Event{Cycle: int64(now), Kind: EvSteal, In: p, Out: o, PktID: f.Pkt.ID, Seq: f.Seq})
+					}
+				}
+				if o != topology.Local {
+					ou.credits[vc.outVC]--
+				}
+				r.pendingCredits = append(r.pendingCredits, creditMsg{port: p, vc: winnerVC[p]})
+				if f.IsTail() {
+					ou.vcFree[vc.outVC] = true
+					vc.state = vcIdle
+					if nf := vc.front(); nf != nil {
+						if nf.IsHead() {
+							vc.state = vcRouting
+							vc.ready = now + 1
+						} else {
+							r.LatchConflicts++
+						}
+					}
+				}
+				ou.rrIn = (int(p) + 1) % np
+				inputMatched[p] = true
+				did = true
+				break
+			}
+		}
+	}
+	return did
+}

@@ -1,0 +1,362 @@
+package router
+
+import (
+	"fmt"
+
+	"tdmnoc/internal/flit"
+	"tdmnoc/internal/hybrid"
+	"tdmnoc/internal/power"
+	"tdmnoc/internal/sim"
+	"tdmnoc/internal/topology"
+)
+
+// Router is one mesh router: a canonical 4-stage virtual-channelled
+// wormhole router, optionally extended with the hybrid-switched datapath
+// of Fig. 2 (slot tables, circuit-switched latch path, demultiplexer and
+// time-slot stealing).
+//
+// Concurrency contract: during the compute phase a router reads and
+// writes only its own state, plus read-only neighbour state that is
+// written exclusively in transfer phases (linkReg, publishedVCLimit,
+// credits). During the transfer phase it moves flits across its incoming
+// links (each link has exactly one downstream owner) and returns credits
+// upstream. This makes parallel execution bit-identical to serial.
+type Router struct {
+	id   topology.NodeID
+	mesh topology.Mesh
+	cfg  Config
+
+	in  [topology.NumPorts]inputUnit
+	out [topology.NumPorts]outputUnit
+
+	neighbors [topology.NumPorts]*Router
+	localSink CreditSink
+
+	// csPending[o] is a circuit-switched flit traversing to output o this
+	// cycle (filled by acceptIncoming, drained by switchTraversal).
+	csPending [topology.NumPorts]*flit.Flit
+
+	// pendingCredits collects credits produced this compute phase; the
+	// transfer phase delivers them upstream.
+	pendingCredits []creditMsg
+
+	// Hybrid state (nil unless cfg.Hybrid).
+	tables *hybrid.RouterTables
+	// dltEvents records circuits that started or stopped passing through
+	// this router (setup/teardown processing). The co-located NI — which
+	// owns the node's DLT — drains them during its transfer phase, so no
+	// state is shared across entities within a phase.
+	dltEvents []DLTEvent
+	// Epoch is the slot-table sizing epoch; setups stamped with an older
+	// epoch are rejected so reservations can never straddle a reset.
+	Epoch int
+
+	// VC gating.
+	gate        *hybrid.VCGate
+	latGate     *hybrid.LatencyVCGate
+	activeVCs   int
+	pendingVCs  int // shrink target during evacuation; == activeVCs when stable
+	gateEpochAt sim.Cycle
+	// publishedVCLimit is the VC count upstream allocators may use; it is
+	// updated only in the transfer phase so cross-router reads are stable.
+	publishedVCLimit int
+
+	meter power.RouterMeter
+
+	// Diagnostics: protocol invariant violations (must stay zero in every
+	// well-formed experiment; tests assert on them).
+	MisroutedCS    int64
+	DroppedCS      int64
+	LatchConflicts int64
+	// StolenSlots counts packet-switched traversals that used a reserved
+	// but unclaimed circuit slot (time-slot stealing, Section II-D).
+	StolenSlots int64
+
+	// events, when non-nil, receives debug trace events (serial runs only).
+	events EventSink
+}
+
+// New creates a router for node id on mesh m. The caller wires neighbours
+// with Connect and attaches the NI credit sink with AttachLocal.
+func New(id topology.NodeID, m topology.Mesh, cfg Config) *Router {
+	cfg.validate()
+	r := &Router{
+		id: id, mesh: m, cfg: cfg,
+		activeVCs: cfg.VCs, pendingVCs: cfg.VCs, publishedVCLimit: cfg.VCs,
+	}
+	for p := range r.in {
+		r.in[p].vcs = make([]inputVC, cfg.VCs)
+	}
+	for p := range r.out {
+		r.out[p].credits = make([]int, cfg.VCs)
+		r.out[p].vcFree = make([]bool, cfg.VCs)
+		for v := 0; v < cfg.VCs; v++ {
+			r.out[p].credits[v] = cfg.BufDepth
+			r.out[p].vcFree[v] = true
+		}
+	}
+	r.out[topology.Local].connected = true
+	if cfg.Hybrid {
+		r.tables = hybrid.NewRouterTables(cfg.SlotCapacity, cfg.SlotActive)
+	}
+	if cfg.LatencyVCGating {
+		r.latGate = hybrid.DefaultLatencyVCGate(cfg.VCs)
+	} else if cfg.VCGating {
+		r.gate = hybrid.DefaultVCGate(cfg.VCs)
+	}
+	r.meter.LinkChannels = 1 // local ejection channel; Connect adds more
+	return r
+}
+
+// ID returns the router's node id.
+func (r *Router) ID() topology.NodeID { return r.id }
+
+// Config returns the router's configuration.
+func (r *Router) Config() Config { return r.cfg }
+
+// Connect wires this router's port p to neighbour n (one direction; the
+// caller also connects the reverse direction on n).
+func (r *Router) Connect(p topology.Port, n *Router) {
+	if p == topology.Local {
+		panic("router: cannot Connect the local port")
+	}
+	if r.neighbors[p] != nil {
+		panic(fmt.Sprintf("router %d: port %v already connected", r.id, p))
+	}
+	r.neighbors[p] = n
+	r.out[p].connected = true
+	r.meter.LinkChannels++
+}
+
+// AttachLocal registers the NI credit sink for the local input port.
+func (r *Router) AttachLocal(s CreditSink) { r.localSink = s }
+
+// Tables exposes the hybrid slot tables (nil for packet-switched routers).
+func (r *Router) Tables() *hybrid.RouterTables { return r.tables }
+
+// DLTEvent tells the node's NI that a circuit toward Dst began (Add) or
+// stopped passing through this router at the given slot/duration, entering
+// on input port In — the information hitchhiker-sharing stores in the DLT.
+type DLTEvent struct {
+	Add  bool
+	Dst  topology.NodeID
+	Slot int
+	Dur  int
+	In   topology.Port
+}
+
+// DrainDLTEvents hands the accumulated DLT events to the caller (the
+// co-located NI, during its transfer phase) and clears the queue.
+func (r *Router) DrainDLTEvents(buf []DLTEvent) []DLTEvent {
+	buf = append(buf, r.dltEvents...)
+	r.dltEvents = r.dltEvents[:0]
+	return buf
+}
+
+// Meter exposes the router's energy meter.
+func (r *Router) Meter() *power.RouterMeter { return &r.meter }
+
+// ActiveVCs returns the current active VC count per port.
+func (r *Router) ActiveVCs() int { return r.activeVCs }
+
+// LocalVCLimit tells the NI how many local input VCs it may inject on.
+// Safe to read from NI compute ticks: updated only during transfer.
+func (r *Router) LocalVCLimit() int { return r.publishedVCLimit }
+
+// StageLocalInject places a flit on the NI-to-router local link during
+// the NI's transfer phase; the router processes it next cycle. The local
+// link has no extra pipeline register: the NI sits at the router, so a
+// flit staged at transfer T arrives at compute T+1 — which is also why
+// the NI can consult IncomingCS (the advance signal) at compute T to
+// decide hitchhiker contention for arrival cycle T+1.
+func (r *Router) StageLocalInject(f *flit.Flit) {
+	iu := &r.in[topology.Local]
+	if iu.latch != nil {
+		r.LatchConflicts++
+	}
+	iu.latch = f
+}
+
+// TakeLocalEject removes and returns the flit on the router-to-NI latch,
+// if any. Called by the NI during the transfer phase.
+func (r *Router) TakeLocalEject() *flit.Flit {
+	f := r.out[topology.Local].latch
+	r.out[topology.Local].latch = nil
+	return f
+}
+
+// IncomingCS reports whether a circuit-switched flit will arrive on input
+// port p next cycle — the paper's one-bit advance signal, used for
+// time-slot stealing and by NIs checking whether a hitchhiker slot is
+// free. Safe to read from compute ticks: linkReg is transfer-written.
+func (r *Router) IncomingCS(p topology.Port) bool {
+	f := r.in[p].linkReg
+	return f != nil && f.CS
+}
+
+// ResetCircuits clears all slot tables and the DLT and installs a new
+// active slot count and epoch — invoked by the network-wide dynamic
+// resizing policy after its drain window.
+func (r *Router) ResetCircuits(newActive, epoch int) {
+	if r.tables != nil {
+		r.tables.Reset(newActive)
+	}
+	r.dltEvents = r.dltEvents[:0]
+	r.Epoch = epoch
+}
+
+// Tick advances the router one phase (see sim.Phase for the contract).
+func (r *Router) Tick(now sim.Cycle, phase sim.Phase) {
+	switch phase {
+	case sim.PhaseCompute:
+		r.compute(now)
+	case sim.PhaseTransfer:
+		r.transfer()
+	}
+}
+
+// compute runs the router pipeline for one cycle.
+func (r *Router) compute(now sim.Cycle) {
+	busy := r.acceptIncoming(now)
+	busy = r.switchTraversal(now) || busy
+	r.routeCompute(now)
+	r.vcAllocate(now)
+	busy = r.switchAllocate(now) || busy
+	r.updateVCGating(now)
+	r.accrueStatics(busy || r.anyBuffered())
+}
+
+// transfer moves flits across this router's incoming links and returns
+// credits upstream.
+func (r *Router) transfer() {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		up := r.neighbors[p]
+		if up == nil {
+			continue // Local handled by the NI via ShiftLocalLink
+		}
+		iu := &r.in[p]
+		if iu.linkReg != nil {
+			if iu.latch != nil {
+				r.LatchConflicts++
+			}
+			iu.latch = iu.linkReg
+			iu.linkReg = nil
+		}
+		upPort := p.Opposite()
+		if f := up.out[upPort].latch; f != nil {
+			iu.linkReg = f
+			up.out[upPort].latch = nil
+		}
+	}
+	for _, c := range r.pendingCredits {
+		if c.port == topology.Local {
+			if r.localSink != nil {
+				r.localSink.ReturnCredit(c.vc)
+			}
+			continue
+		}
+		if up := r.neighbors[c.port]; up != nil {
+			up.out[c.port.Opposite()].credits[c.vc]++
+		}
+	}
+	r.pendingCredits = r.pendingCredits[:0]
+	r.publishedVCLimit = min(r.activeVCs, r.pendingVCs)
+}
+
+// anyBuffered reports whether any input VC holds flits.
+func (r *Router) anyBuffered() bool {
+	for p := range r.in {
+		for v := range r.in[p].vcs {
+			if !r.in[p].vcs[v].empty() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// accrueStatics integrates leakage state for this cycle.
+func (r *Router) accrueStatics(busy bool) {
+	r.meter.Cycles++
+	if busy {
+		r.meter.ActiveCycles++
+	}
+	r.meter.BufSlotCycles += int64(r.activeVCs * r.cfg.BufDepth * int(topology.NumPorts))
+	if r.tables != nil {
+		r.meter.SlotEntryCycles += int64(r.tables.ActivePoweredEntries())
+		r.meter.CSCycles++
+	}
+}
+
+// updateVCGating runs the Section III-B policy: observe utilisation every
+// cycle, adjust at epoch boundaries, commit shrinks only after the victim
+// VCs have been evacuated.
+func (r *Router) updateVCGating(now sim.Cycle) {
+	if r.latGate != nil {
+		if now >= r.gateEpochAt+sim.Cycle(r.latGate.Epoch) {
+			r.gateEpochAt = now
+			if target, changed := r.latGate.Step(); changed {
+				r.pendingVCs = target
+				if target > r.activeVCs {
+					r.activeVCs = target
+				}
+			}
+		}
+		if r.pendingVCs < r.activeVCs && r.evacuated(r.pendingVCs) {
+			r.activeVCs = r.pendingVCs
+		}
+		return
+	}
+	if r.gate == nil {
+		return
+	}
+	busy := 0
+	for p := range r.in {
+		for v := 0; v < r.activeVCs; v++ {
+			if !r.in[p].vcs[v].empty() {
+				busy++
+			}
+		}
+	}
+	// Observe per-port average utilisation (rounded up so a single busy
+	// VC anywhere still registers).
+	r.gate.Observe((busy + int(topology.NumPorts) - 1) / int(topology.NumPorts))
+
+	if now >= r.gateEpochAt+sim.Cycle(r.gate.Epoch) {
+		r.gateEpochAt = now
+		if target, changed := r.gate.Step(); changed {
+			r.pendingVCs = target
+			if target > r.activeVCs {
+				r.activeVCs = target // growing is immediate
+			}
+		}
+	}
+	if r.pendingVCs < r.activeVCs && r.evacuated(r.pendingVCs) {
+		r.activeVCs = r.pendingVCs
+	}
+}
+
+// evacuated reports whether all VCs at or above limit are empty and idle
+// on every input port, and no upstream packet still holds one.
+func (r *Router) evacuated(limit int) bool {
+	for p := range r.in {
+		for v := limit; v < r.activeVCs; v++ {
+			if !r.in[p].vcs[v].empty() || r.in[p].vcs[v].state != vcIdle {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// allocLimit is the number of downstream VCs the VC allocator may hand out
+// for output port p.
+func (r *Router) allocLimit(p topology.Port) int {
+	if p == topology.Local {
+		return r.cfg.VCs // ejection pseudo-VCs, never gated
+	}
+	if n := r.neighbors[p]; n != nil {
+		return n.publishedVCLimit
+	}
+	return r.cfg.VCs
+}

@@ -1,0 +1,116 @@
+package router
+
+import (
+	"tdmnoc/internal/flit"
+	"tdmnoc/internal/sim"
+	"tdmnoc/internal/topology"
+)
+
+// vcState is the per-input-VC pipeline state machine.
+type vcState uint8
+
+const (
+	// vcIdle: no packet owns the VC.
+	vcIdle vcState = iota
+	// vcRouting: head flit at the front awaiting route computation.
+	vcRouting
+	// vcVCAlloc: route computed, waiting for an output VC.
+	vcVCAlloc
+	// vcActive: output VC held; flits compete for the switch.
+	vcActive
+)
+
+// inputVC is one virtual channel of one input port.
+type inputVC struct {
+	q     []*flit.Flit
+	state vcState
+	// ready is the earliest cycle the current pipeline stage may execute,
+	// enforcing the one-stage-per-cycle timing.
+	ready sim.Cycle
+
+	// route is the output port computed for the head packet.
+	route topology.Port
+
+	// Grant state while vcActive.
+	outPort topology.Port
+	outVC   int
+}
+
+func (v *inputVC) empty() bool { return len(v.q) == 0 }
+
+func (v *inputVC) front() *flit.Flit {
+	if len(v.q) == 0 {
+		return nil
+	}
+	return v.q[0]
+}
+
+func (v *inputVC) push(f *flit.Flit) { v.q = append(v.q, f) }
+
+func (v *inputVC) pop() *flit.Flit {
+	f := v.q[0]
+	// Shift rather than reslice so the backing array doesn't grow without
+	// bound over a long simulation.
+	copy(v.q, v.q[1:])
+	v.q[len(v.q)-1] = nil
+	v.q = v.q[:len(v.q)-1]
+	return f
+}
+
+// inputUnit is one input port: its VC buffers plus the link-side registers.
+type inputUnit struct {
+	vcs []inputVC
+
+	// latch receives the flit delivered by the link this cycle (at most
+	// one flit per port per cycle).
+	latch *flit.Flit
+	// linkReg models the one-cycle link pipeline: a flit written to the
+	// upstream output latch at cycle T sits here during T+1 and lands in
+	// latch for processing at T+2. It doubles as the paper's one-bit
+	// circuit-switched advance signal: the flit that will arrive next
+	// cycle is visible here now.
+	linkReg *flit.Flit
+
+	// rrVC is the round-robin pointer for switch-allocation stage one.
+	rrVC int
+}
+
+// outputUnit is one output port: downstream VC bookkeeping, the switch
+// traversal register and the output latch.
+type outputUnit struct {
+	// credits[v] is the free buffer space in the downstream input VC v.
+	credits []int
+	// vcFree[v] reports whether downstream VC v may be allocated to a new
+	// packet (freed when the previous packet's tail flit is sent).
+	vcFree []bool
+
+	// stReg holds the switch-allocation winner; it traverses the crossbar
+	// the cycle after the grant. A circuit-switched flit arriving in that
+	// cycle has crossbar priority, in which case the winner stalls here.
+	stReg *flit.Flit
+	// latch is the post-crossbar output register drained by the link.
+	latch *flit.Flit
+
+	// rrVA is the round-robin requester pointer for VC allocation.
+	rrVA int
+	// rrVC is the round-robin pointer over downstream VCs for allocation.
+	rrVC int
+	// rrIn is the round-robin input pointer for switch-allocation stage two.
+	rrIn int
+
+	// connected reports whether the port leads anywhere (edge routers
+	// leave outward ports unconnected; Local is always connected).
+	connected bool
+}
+
+// creditMsg is a credit returned upstream for (port, vc).
+type creditMsg struct {
+	port topology.Port
+	vc   int
+}
+
+// CreditSink receives credits the router returns for its local input port;
+// the network interface implements it to track injection space.
+type CreditSink interface {
+	ReturnCredit(vc int)
+}

@@ -1,0 +1,235 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdmnoc/internal/topology"
+)
+
+func TestXYBasicDirections(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	center := m.ID(topology.Coord{X: 3, Y: 3})
+	cases := []struct {
+		dst  topology.Coord
+		want topology.Port
+	}{
+		{topology.Coord{X: 5, Y: 3}, topology.East},
+		{topology.Coord{X: 0, Y: 3}, topology.West},
+		{topology.Coord{X: 3, Y: 5}, topology.South},
+		{topology.Coord{X: 3, Y: 0}, topology.North},
+		{topology.Coord{X: 3, Y: 3}, topology.Local},
+		// X corrected before Y.
+		{topology.Coord{X: 5, Y: 5}, topology.East},
+		{topology.Coord{X: 0, Y: 0}, topology.West},
+	}
+	for _, c := range cases {
+		if got := XY(m, center, m.ID(c.dst)); got != c.want {
+			t.Errorf("XY to %v = %v, want %v", c.dst, got, c.want)
+		}
+	}
+}
+
+func TestXYPathReachesAndIsMinimal(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	f := func(a8, b8 uint8) bool {
+		src := topology.NodeID(int(a8) % m.Nodes())
+		dst := topology.NodeID(int(b8) % m.Nodes())
+		path := PathXY(m, src, dst)
+		if path[0] != src || path[len(path)-1] != dst {
+			return false
+		}
+		// Minimal: path length equals hop distance + 1.
+		if len(path) != m.HopDistance(src, dst)+1 {
+			return false
+		}
+		// Every step is a mesh link.
+		for i := 1; i < len(path); i++ {
+			if m.HopDistance(path[i-1], path[i]) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimalCandidates(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	src := m.ID(topology.Coord{X: 2, Y: 2})
+
+	cands := MinimalCandidates(m, src, m.ID(topology.Coord{X: 4, Y: 4}))
+	if len(cands) != 2 {
+		t.Fatalf("diagonal dst: %d candidates, want 2", len(cands))
+	}
+	hasEast, hasSouth := false, false
+	for _, c := range cands {
+		if c == topology.East {
+			hasEast = true
+		}
+		if c == topology.South {
+			hasSouth = true
+		}
+	}
+	if !hasEast || !hasSouth {
+		t.Fatalf("diagonal candidates = %v", cands)
+	}
+
+	if cands := MinimalCandidates(m, src, m.ID(topology.Coord{X: 2, Y: 0})); len(cands) != 1 || cands[0] != topology.North {
+		t.Fatalf("straight-line candidates = %v", cands)
+	}
+	if cands := MinimalCandidates(m, src, src); len(cands) != 0 {
+		t.Fatalf("self candidates = %v", cands)
+	}
+}
+
+func TestMinimalAdaptivePrefersUncongested(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	src := m.ID(topology.Coord{X: 1, Y: 1})
+	dst := m.ID(topology.Coord{X: 4, Y: 4})
+
+	eastBusy := func(p topology.Port) int {
+		if p == topology.East {
+			return 10
+		}
+		return 0
+	}
+	if got := MinimalAdaptive(m, src, dst, eastBusy); got != topology.South {
+		t.Errorf("with east congested, chose %v, want South", got)
+	}
+	southBusy := func(p topology.Port) int {
+		if p == topology.South {
+			return 10
+		}
+		return 0
+	}
+	if got := MinimalAdaptive(m, src, dst, southBusy); got != topology.East {
+		t.Errorf("with south congested, chose %v, want East", got)
+	}
+	// Ties break toward the X dimension (deterministic).
+	uniform := func(topology.Port) int { return 3 }
+	if got := MinimalAdaptive(m, src, dst, uniform); got != topology.East {
+		t.Errorf("tie-break chose %v, want East", got)
+	}
+}
+
+func TestMinimalAdaptiveSelfAndStraight(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	uniform := func(topology.Port) int { return 0 }
+	if got := MinimalAdaptive(m, 5, 5, uniform); got != topology.Local {
+		t.Errorf("self route = %v, want Local", got)
+	}
+	if got := MinimalAdaptive(m, 5, 7, uniform); got != topology.East {
+		t.Errorf("straight route = %v, want East", got)
+	}
+}
+
+func TestMinimalAdaptiveStaysMinimal(t *testing.T) {
+	// Property: whatever the congestion function, the chosen port is
+	// productive (reduces hop distance).
+	m := topology.NewMesh(8, 8)
+	f := func(a8, b8 uint8, bias uint8) bool {
+		src := topology.NodeID(int(a8) % m.Nodes())
+		dst := topology.NodeID(int(b8) % m.Nodes())
+		cong := func(p topology.Port) int { return int(bias) ^ int(p) }
+		got := MinimalAdaptive(m, src, dst, cong)
+		if src == dst {
+			return got == topology.Local
+		}
+		next, ok := m.Neighbor(src, got)
+		if !ok {
+			return false
+		}
+		return m.HopDistance(next, dst) == m.HopDistance(src, dst)-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWestFirstGoesWestFirst(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	src := m.ID(topology.Coord{X: 4, Y: 2})
+	uniform := func(topology.Port) int { return 0 }
+	// Destination to the north-west: must route West regardless of congestion.
+	dst := m.ID(topology.Coord{X: 1, Y: 0})
+	if got := WestFirst(m, src, dst, uniform); got != topology.West {
+		t.Errorf("west-first chose %v, want West", got)
+	}
+	westBusy := func(p topology.Port) int {
+		if p == topology.West {
+			return 100
+		}
+		return 0
+	}
+	if got := WestFirst(m, src, dst, westBusy); got != topology.West {
+		t.Errorf("west-first must not avoid West even when congested; chose %v", got)
+	}
+}
+
+func TestWestFirstAdaptsEastSide(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	src := m.ID(topology.Coord{X: 1, Y: 1})
+	dst := m.ID(topology.Coord{X: 4, Y: 4})
+	eastBusy := func(p topology.Port) int {
+		if p == topology.East {
+			return 10
+		}
+		return 0
+	}
+	if got := WestFirst(m, src, dst, eastBusy); got != topology.South {
+		t.Errorf("chose %v, want South when East congested", got)
+	}
+	southBusy := func(p topology.Port) int {
+		if p == topology.South {
+			return 10
+		}
+		return 0
+	}
+	if got := WestFirst(m, src, dst, southBusy); got != topology.East {
+		t.Errorf("chose %v, want East when South congested", got)
+	}
+}
+
+func TestWestFirstNeverTurnsIntoWest(t *testing.T) {
+	// Property: west-first routes only go West while the destination is
+	// west; once travelling north/south/east they never pick West. We
+	// verify by walking complete routes: any West move must happen before
+	// any non-West move.
+	m := topology.NewMesh(8, 8)
+	f := func(a8, b8, bias uint8) bool {
+		src := topology.NodeID(int(a8) % m.Nodes())
+		dst := topology.NodeID(int(b8) % m.Nodes())
+		cong := func(p topology.Port) int { return int(bias) ^ int(p) }
+		cur := src
+		sawNonWest := false
+		for steps := 0; cur != dst && steps < 64; steps++ {
+			p := WestFirst(m, cur, dst, cong)
+			if p == topology.West {
+				if sawNonWest {
+					return false // prohibited turn into West
+				}
+			} else if p != topology.Local {
+				sawNonWest = true
+			}
+			next, ok := m.Neighbor(cur, p)
+			if !ok {
+				return false
+			}
+			cur = next
+		}
+		return cur == dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWestFirstSelfIsLocal(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	if got := WestFirst(m, 5, 5, func(topology.Port) int { return 0 }); got != topology.Local {
+		t.Errorf("self route %v", got)
+	}
+}

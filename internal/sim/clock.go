@@ -1,0 +1,55 @@
+package sim
+
+// Cycle is a simulation timestamp measured in router clock cycles.
+// The evaluated system runs at 1.5 GHz (Table I), so wall-clock time is
+// Cycle / 1.5e9 seconds; the power model performs that conversion.
+type Cycle int64
+
+// Clock is the global cycle counter for one simulation instance.
+// All components of a network share a single Clock and observe the same
+// value within a cycle; only the simulation driver advances it.
+type Clock struct {
+	now Cycle
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() Cycle { return c.now }
+
+// Advance moves the clock forward by one cycle.
+func (c *Clock) Advance() { c.now++ }
+
+// Reset rewinds the clock to cycle zero.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Ticker is anything driven by the simulation loop. Tick is invoked once
+// per cycle per phase; see Executor for the phase contract.
+type Ticker interface {
+	// Tick runs one phase of one cycle. Phase semantics are owned by the
+	// caller: the network steps routers in PhaseCompute and transfers
+	// flits/credits between routers in PhaseTransfer.
+	Tick(now Cycle, phase Phase)
+}
+
+// Phase identifies one of the two barrier-separated sub-steps of a cycle.
+//
+// The two-phase split is what makes parallel execution deterministic:
+// during PhaseCompute every component reads only state written in previous
+// phases and writes only its own private state (pipeline registers, output
+// latches); during PhaseTransfer all cross-component movement (link
+// traversal, credit return) happens, again touching disjoint state per
+// link. A barrier between the phases therefore yields results identical to
+// serial execution regardless of scheduling.
+type Phase uint8
+
+const (
+	// PhaseCompute is the intra-component phase: pipeline advance,
+	// allocation, switch traversal into output latches.
+	PhaseCompute Phase = iota
+	// PhaseTransfer is the inter-component phase: latches move across
+	// links into downstream input latches, credits propagate upstream.
+	PhaseTransfer
+	numPhases
+)
+
+// NumPhases is the count of phases executed each cycle.
+const NumPhases = int(numPhases)

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Executor drives a set of Tickers through cycles, either serially or with
+// a fixed worker pool. Both modes produce bit-identical simulation results
+// because each phase is barrier-separated and Tickers only touch disjoint
+// state within a phase (see Phase).
+type Executor struct {
+	clock   *Clock
+	tickers []Ticker
+
+	workers int
+	// wg and work are reused across cycles to avoid per-cycle allocation.
+	work chan workItem
+	wg   sync.WaitGroup
+}
+
+type workItem struct {
+	lo, hi int
+	now    Cycle
+	phase  Phase
+}
+
+// NewExecutor creates an executor over tickers. workers <= 1 selects the
+// serial path; workers > 1 spawns that many goroutines which persist for
+// the executor's lifetime. Parallelism only pays off for large meshes
+// (>= 16x16); small networks should use workers == 1.
+func NewExecutor(clock *Clock, tickers []Ticker, workers int) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(tickers) {
+		workers = max(1, len(tickers))
+	}
+	e := &Executor{clock: clock, tickers: tickers, workers: workers}
+	if workers > 1 {
+		e.work = make(chan workItem, workers)
+		for i := 0; i < workers; i++ {
+			go e.worker()
+		}
+	}
+	return e
+}
+
+func (e *Executor) worker() {
+	for item := range e.work {
+		for i := item.lo; i < item.hi; i++ {
+			e.tickers[i].Tick(item.now, item.phase)
+		}
+		e.wg.Done()
+	}
+}
+
+// Step executes one full cycle (all phases) and advances the clock.
+func (e *Executor) Step() {
+	now := e.clock.Now()
+	for p := Phase(0); p < Phase(NumPhases); p++ {
+		e.runPhase(now, p)
+	}
+	e.clock.Advance()
+}
+
+// Run executes n cycles.
+func (e *Executor) Run(n int) {
+	for i := 0; i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil executes cycles until done reports true, checking after every
+// cycle, or until limit cycles have elapsed. It returns the number of
+// cycles executed and whether done was satisfied.
+func (e *Executor) RunUntil(done func() bool, limit int) (cycles int, ok bool) {
+	for i := 0; i < limit; i++ {
+		e.Step()
+		if done() {
+			return i + 1, true
+		}
+	}
+	return limit, false
+}
+
+// Close releases the worker pool. The executor must not be used afterwards.
+func (e *Executor) Close() {
+	if e.work != nil {
+		close(e.work)
+		e.work = nil
+	}
+}
+
+func (e *Executor) runPhase(now Cycle, phase Phase) {
+	n := len(e.tickers)
+	if e.workers <= 1 || e.work == nil {
+		for i := 0; i < n; i++ {
+			e.tickers[i].Tick(now, phase)
+		}
+		return
+	}
+	chunk := (n + e.workers - 1) / e.workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		e.wg.Add(1)
+		e.work <- workItem{lo: lo, hi: hi, now: now, phase: phase}
+	}
+	e.wg.Wait()
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for _, v := range []int64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Max() != 100 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if m := h.Mean(); m != 22 {
+		t.Fatalf("mean %v", m)
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	// Property: Percentile(p) is an upper bound no larger than max, at
+	// least the true percentile, and monotone in p.
+	f := func(vals []uint16, p8 uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(int64(v))
+		}
+		p := float64(p8) / 255
+		got := h.Percentile(p)
+		if got > h.Max() {
+			return false
+		}
+		// Upper-bound property: at least ceil(p*(n-1))+1 samples are <= got.
+		rank := int64(p * float64(len(vals)-1))
+		var le int64
+		for _, v := range vals {
+			if int64(v) <= got {
+				le++
+			}
+		}
+		if le < rank+1 {
+			return false
+		}
+		return h.Percentile(1.0) >= h.Percentile(0.0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatal("negative sample not clamped")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(10)
+	b.Observe(1000)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Max() != 1000 {
+		t.Fatalf("merge: count=%d max=%d", a.Count(), a.Max())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	if !strings.Contains(h.String(), "empty") {
+		t.Fatal("empty string form")
+	}
+	h.Observe(50)
+	s := h.String()
+	for _, want := range []string{"n=1", "p99", "max=50"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestHistogramPercentileClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(7)
+	if h.Percentile(-1) != h.Percentile(0) || h.Percentile(2) != h.Percentile(1) {
+		t.Fatal("out-of-range p not clamped")
+	}
+}

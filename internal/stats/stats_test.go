@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"tdmnoc/internal/flit"
+)
+
+func pkt(flits int, sw flit.Switching, created, injected, ejected int64, class flit.TrafficClass) *flit.Packet {
+	return &flit.Packet{
+		Flits: flits, Switching: sw, Class: class,
+		CreatedAt: created, InjectedAt: injected, EjectedAt: ejected,
+	}
+}
+
+func TestDisabledCollectorIgnores(t *testing.T) {
+	var c Collector
+	c.RecordInjection(pkt(5, flit.PacketSwitched, 0, 1, 0, flit.ClassCPU))
+	c.RecordEjection(pkt(5, flit.PacketSwitched, 0, 1, 30, flit.ClassCPU))
+	if c.InjectedPackets != 0 || c.EjectedPackets != 0 {
+		t.Fatal("disabled collector recorded")
+	}
+}
+
+func TestRecordAndAverages(t *testing.T) {
+	c := Collector{Enabled: true}
+	p1 := pkt(5, flit.PacketSwitched, 0, 10, 40, flit.ClassCPU)
+	p2 := pkt(4, flit.CircuitSwitched, 5, 20, 30, flit.ClassGPU)
+	c.RecordInjection(p1)
+	c.RecordInjection(p2)
+	c.RecordEjection(p1)
+	c.RecordEjection(p2)
+	if c.InjectedPackets != 2 || c.InjectedFlits != 9 {
+		t.Fatalf("injection counts: %d pkts %d flits", c.InjectedPackets, c.InjectedFlits)
+	}
+	if c.CSFlits != 4 || c.PSFlits != 5 {
+		t.Fatalf("switching split: cs=%d ps=%d", c.CSFlits, c.PSFlits)
+	}
+	net, ok := c.AvgNetLatency()
+	if !ok || math.Abs(net-20) > 1e-9 { // (30 + 10) / 2
+		t.Fatalf("avg net latency %v", net)
+	}
+	tot, _ := c.AvgTotalLatency()
+	if math.Abs(tot-32.5) > 1e-9 { // (40 + 25) / 2
+		t.Fatalf("avg total latency %v", tot)
+	}
+	if f := c.CSFlitFraction(); math.Abs(f-4.0/9.0) > 1e-9 {
+		t.Fatalf("cs fraction %v", f)
+	}
+	if c.ClassLatencyCount[int(flit.ClassGPU)] != 1 {
+		t.Fatal("per-class accounting missing")
+	}
+}
+
+func TestEmptyAverages(t *testing.T) {
+	var c Collector
+	if _, ok := c.AvgNetLatency(); ok {
+		t.Fatal("empty collector returned latency")
+	}
+	if _, ok := c.AvgTotalLatency(); ok {
+		t.Fatal("empty collector returned total latency")
+	}
+	if c.CSFlitFraction() != 0 || c.ConfigTrafficFraction() != 0 {
+		t.Fatal("empty fractions non-zero")
+	}
+	if c.Throughput(0, 0) != 0 || c.PayloadThroughput(5, 0, 0) != 0 {
+		t.Fatal("zero-division not guarded")
+	}
+}
+
+func TestThroughputs(t *testing.T) {
+	c := Collector{Enabled: true}
+	for i := 0; i < 10; i++ {
+		c.RecordEjection(pkt(4, flit.CircuitSwitched, 0, 1, 20, flit.ClassGPU))
+	}
+	if th := c.Throughput(4, 100); math.Abs(th-0.1) > 1e-9 { // 40 flits / 400
+		t.Fatalf("throughput %v", th)
+	}
+	// Payload throughput normalises to 5-flit packets: 50 / 400.
+	if th := c.PayloadThroughput(5, 4, 100); math.Abs(th-0.125) > 1e-9 {
+		t.Fatalf("payload throughput %v", th)
+	}
+}
+
+func TestConfigTrafficFraction(t *testing.T) {
+	c := Collector{Enabled: true}
+	c.InjectedFlits = 99
+	c.ConfigFlitsSent = 1
+	if f := c.ConfigTrafficFraction(); math.Abs(f-0.01) > 1e-9 {
+		t.Fatalf("config fraction %v", f)
+	}
+}
+
+func TestMergeAddsEverything(t *testing.T) {
+	a := Collector{Enabled: true}
+	b := Collector{Enabled: true}
+	a.RecordInjection(pkt(5, flit.PacketSwitched, 0, 1, 0, flit.ClassCPU))
+	b.RecordEjection(pkt(5, flit.PacketSwitched, 0, 1, 21, flit.ClassCPU))
+	b.SetupsSent = 3
+	b.Hitchhikes = 2
+	b.VicinityRides = 1
+	a.Merge(&b)
+	if a.InjectedPackets != 1 || a.EjectedPackets != 1 {
+		t.Fatalf("merge counts: %d/%d", a.InjectedPackets, a.EjectedPackets)
+	}
+	if a.SetupsSent != 3 || a.Hitchhikes != 2 || a.VicinityRides != 1 {
+		t.Fatal("merge lost protocol counters")
+	}
+	if a.NetLatencySum != 20 {
+		t.Fatalf("merge latency sum %d", a.NetLatencySum)
+	}
+}

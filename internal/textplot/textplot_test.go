@@ -1,0 +1,119 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var p Plot
+	p.Title = "load-latency"
+	p.XLabel = "offered"
+	p.YLabel = "latency"
+	err := p.Add(Series{Name: "packet", X: []float64{0.1, 0.2, 0.3}, Y: []float64{20, 25, 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Render()
+	if !strings.Contains(out, "load-latency") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "packet") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("marker missing")
+	}
+	if !strings.Contains(out, "x: offered") {
+		t.Error("axis labels missing")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var p Plot
+	if out := p.Render(); out != "(no data)\n" {
+		t.Errorf("empty plot rendered %q", out)
+	}
+}
+
+func TestAddRejectsMismatchedLengths(t *testing.T) {
+	var p Plot
+	if err := p.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+}
+
+func TestMarkersAssignedPerSeries(t *testing.T) {
+	var p Plot
+	p.Add(Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}})
+	p.Add(Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}})
+	out := p.Render()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("legend markers wrong:\n%s", out)
+	}
+}
+
+func TestYMaxClamps(t *testing.T) {
+	var p Plot
+	p.Height = 8
+	p.YMax = 100
+	p.Add(Series{Name: "sat", X: []float64{0, 1, 2}, Y: []float64{10, 50, 1e6}})
+	out := p.Render()
+	if !strings.Contains(out, "100") {
+		t.Errorf("clamped axis missing:\n%s", out)
+	}
+	if strings.Contains(out, "1e+06") {
+		t.Error("unclamped value leaked into axis")
+	}
+}
+
+func TestSinglePointAndFlatSeries(t *testing.T) {
+	var p Plot
+	p.Add(Series{Name: "dot", X: []float64{5}, Y: []float64{5}})
+	if out := p.Render(); !strings.Contains(out, "*") {
+		t.Errorf("single point not rendered:\n%s", out)
+	}
+	var q Plot
+	q.Add(Series{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{3, 3, 3}})
+	if out := q.Render(); !strings.Contains(out, "*") {
+		t.Errorf("flat series not rendered:\n%s", out)
+	}
+}
+
+func TestCustomSize(t *testing.T) {
+	var p Plot
+	p.Width = 20
+	p.Height = 5
+	p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}})
+	out := p.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 5 plot rows + axis + x labels + legend = 8 lines.
+	if len(lines) != 8 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	grid := [][]float64{{0, 0.5}, {1.0, 0.25}}
+	out := Heatmap("util", grid)
+	if !strings.Contains(out, "util (max 1.000)") {
+		t.Errorf("missing title/max: %q", out)
+	}
+	if !strings.Contains(out, "@@") {
+		t.Error("max cell not darkest shade")
+	}
+	if !strings.Contains(out, "  ") {
+		t.Error("zero cell not blank")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("expected 3 lines, got %d", len(lines))
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	out := Heatmap("", [][]float64{{0, 0}})
+	if !strings.Contains(out, "  ") {
+		t.Errorf("all-zero heatmap rendered %q", out)
+	}
+}

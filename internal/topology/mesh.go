@@ -1,0 +1,137 @@
+// Package topology models the 2D mesh the paper evaluates: a k-by-k grid of
+// routers, each with five ports (four cardinal directions plus a local port
+// that attaches the tile's network interface).
+package topology
+
+import "fmt"
+
+// Port identifies one of a router's five ports.
+type Port uint8
+
+const (
+	// Local attaches the tile (core / cache / memory controller NI).
+	Local Port = iota
+	North
+	East
+	South
+	West
+	// NumPorts is the router radix for a 2D mesh.
+	NumPorts
+)
+
+// String returns the conventional short name of the port.
+func (p Port) String() string {
+	switch p {
+	case Local:
+		return "L"
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	}
+	return fmt.Sprintf("Port(%d)", uint8(p))
+}
+
+// Opposite returns the port on the far side of a link: a flit leaving a
+// router through East arrives at the neighbour's West port.
+func (p Port) Opposite() Port {
+	switch p {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return Local
+}
+
+// NodeID numbers the tiles of a mesh row-major: id = y*width + x.
+type NodeID int
+
+// Coord is a tile position; x grows eastwards, y grows southwards.
+type Coord struct {
+	X, Y int
+}
+
+// Mesh is a rectangular 2D mesh of Width x Height tiles.
+type Mesh struct {
+	Width, Height int
+}
+
+// NewMesh returns a mesh of the given dimensions. It panics on
+// non-positive dimensions, which are always a programming error.
+func NewMesh(width, height int) Mesh {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("topology: invalid mesh %dx%d", width, height))
+	}
+	return Mesh{Width: width, Height: height}
+}
+
+// Nodes returns the number of tiles in the mesh.
+func (m Mesh) Nodes() int { return m.Width * m.Height }
+
+// Coord returns the position of node id.
+func (m Mesh) Coord(id NodeID) Coord {
+	return Coord{X: int(id) % m.Width, Y: int(id) / m.Width}
+}
+
+// ID returns the node at position c.
+func (m Mesh) ID(c Coord) NodeID {
+	return NodeID(c.Y*m.Width + c.X)
+}
+
+// Contains reports whether c lies inside the mesh.
+func (m Mesh) Contains(c Coord) bool {
+	return c.X >= 0 && c.X < m.Width && c.Y >= 0 && c.Y < m.Height
+}
+
+// Neighbor returns the node reached by leaving id through port p, and
+// whether such a neighbour exists (edge routers have no neighbour on
+// outward-facing ports).
+func (m Mesh) Neighbor(id NodeID, p Port) (NodeID, bool) {
+	c := m.Coord(id)
+	switch p {
+	case North:
+		c.Y--
+	case South:
+		c.Y++
+	case East:
+		c.X++
+	case West:
+		c.X--
+	default:
+		return 0, false
+	}
+	if !m.Contains(c) {
+		return 0, false
+	}
+	return m.ID(c), true
+}
+
+// HopDistance returns the minimal hop count between two nodes
+// (Manhattan distance on the mesh).
+func (m Mesh) HopDistance(a, b NodeID) int {
+	ca, cb := m.Coord(a), m.Coord(b)
+	return abs(ca.X-cb.X) + abs(ca.Y-cb.Y)
+}
+
+// Adjacent reports whether a and b are one hop apart. A node is not
+// adjacent to itself. Vicinity-sharing (Section III-A2) uses this to decide
+// whether a message for Dest2 may ride a circuit terminating at Dest1.
+func (m Mesh) Adjacent(a, b NodeID) bool {
+	return m.HopDistance(a, b) == 1
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,155 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPortString(t *testing.T) {
+	want := map[Port]string{Local: "L", North: "N", East: "E", South: "S", West: "W"}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Port %d String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Port(9).String() != "Port(9)" {
+		t.Errorf("unknown port String() = %q", Port(9).String())
+	}
+}
+
+func TestPortOpposite(t *testing.T) {
+	pairs := map[Port]Port{North: South, South: North, East: West, West: East, Local: Local}
+	for p, want := range pairs {
+		if p.Opposite() != want {
+			t.Errorf("%v.Opposite() = %v, want %v", p, p.Opposite(), want)
+		}
+	}
+}
+
+func TestMeshCoordRoundTrip(t *testing.T) {
+	m := NewMesh(6, 6)
+	for id := NodeID(0); id < NodeID(m.Nodes()); id++ {
+		c := m.Coord(id)
+		if !m.Contains(c) {
+			t.Fatalf("coord %v of node %d outside mesh", c, id)
+		}
+		if m.ID(c) != id {
+			t.Fatalf("round trip failed for node %d: coord %v -> %d", id, c, m.ID(c))
+		}
+	}
+}
+
+func TestMeshRectangular(t *testing.T) {
+	m := NewMesh(4, 2)
+	if m.Nodes() != 8 {
+		t.Fatalf("4x2 mesh has %d nodes", m.Nodes())
+	}
+	if c := m.Coord(5); c != (Coord{X: 1, Y: 1}) {
+		t.Fatalf("node 5 at %v", c)
+	}
+}
+
+func TestNewMeshPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMesh(0, 3) did not panic")
+		}
+	}()
+	NewMesh(0, 3)
+}
+
+func TestMeshNeighbor(t *testing.T) {
+	m := NewMesh(3, 3)
+	center := m.ID(Coord{1, 1})
+	cases := []struct {
+		p    Port
+		want Coord
+	}{
+		{North, Coord{1, 0}},
+		{South, Coord{1, 2}},
+		{East, Coord{2, 1}},
+		{West, Coord{0, 1}},
+	}
+	for _, c := range cases {
+		n, ok := m.Neighbor(center, c.p)
+		if !ok || n != m.ID(c.want) {
+			t.Errorf("neighbor %v of center = (%d,%v), want %v", c.p, n, ok, c.want)
+		}
+	}
+	// Edges have no outward neighbours.
+	if _, ok := m.Neighbor(m.ID(Coord{0, 0}), North); ok {
+		t.Error("corner has a north neighbour")
+	}
+	if _, ok := m.Neighbor(m.ID(Coord{0, 0}), West); ok {
+		t.Error("corner has a west neighbour")
+	}
+	// Local port never leads anywhere.
+	if _, ok := m.Neighbor(center, Local); ok {
+		t.Error("local port has a neighbour")
+	}
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	// Property: if B is A's neighbour via p, then A is B's neighbour via
+	// p.Opposite().
+	m := NewMesh(5, 4)
+	for id := NodeID(0); id < NodeID(m.Nodes()); id++ {
+		for _, p := range []Port{North, East, South, West} {
+			n, ok := m.Neighbor(id, p)
+			if !ok {
+				continue
+			}
+			back, ok2 := m.Neighbor(n, p.Opposite())
+			if !ok2 || back != id {
+				t.Fatalf("asymmetric link: %d -%v-> %d -%v-> (%d,%v)", id, p, n, p.Opposite(), back, ok2)
+			}
+		}
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	m := NewMesh(6, 6)
+	if d := m.HopDistance(m.ID(Coord{0, 0}), m.ID(Coord{5, 5})); d != 10 {
+		t.Errorf("corner-to-corner distance %d, want 10", d)
+	}
+	if d := m.HopDistance(3, 3); d != 0 {
+		t.Errorf("self distance %d, want 0", d)
+	}
+}
+
+func TestHopDistanceProperties(t *testing.T) {
+	m := NewMesh(8, 8)
+	f := func(a8, b8 uint8) bool {
+		a := NodeID(int(a8) % m.Nodes())
+		b := NodeID(int(b8) % m.Nodes())
+		d := m.HopDistance(a, b)
+		// Symmetry, identity, and triangle inequality via node 0.
+		if d != m.HopDistance(b, a) {
+			return false
+		}
+		if (d == 0) != (a == b) {
+			return false
+		}
+		return m.HopDistance(a, 0)+m.HopDistance(0, b) >= d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	m := NewMesh(6, 6)
+	if !m.Adjacent(0, 1) || !m.Adjacent(0, 6) {
+		t.Error("expected adjacency along mesh links")
+	}
+	if m.Adjacent(0, 7) {
+		t.Error("diagonal nodes reported adjacent")
+	}
+	if m.Adjacent(5, 5) {
+		t.Error("node adjacent to itself")
+	}
+	// Row wrap must not create adjacency: node 5 = (5,0), node 6 = (0,1).
+	if m.Adjacent(5, 6) {
+		t.Error("row-wrap nodes reported adjacent")
+	}
+}

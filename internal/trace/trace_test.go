@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdmnoc/internal/network"
+	"tdmnoc/internal/topology"
+	"tdmnoc/internal/traffic"
+)
+
+func TestSynthesizeProducesValidTrace(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	tr := Synthesize(traffic.Tornado, m, 0.15, 5, 2000, 1)
+	if len(tr.Events) == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Offered load should approximate rate/flits packets per node-cycle.
+	want := 0.15 / 5 * float64(m.Nodes()) * 2000
+	got := float64(len(tr.Events))
+	if got < want*0.7 || got > want*1.3 {
+		t.Errorf("synthesized %d events, expected about %.0f", len(tr.Events), want)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	a := Synthesize(traffic.UniformRandom, m, 0.2, 5, 500, 7)
+	b := Synthesize(traffic.UniformRandom, m, 0.2, 5, 500, 7)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("different lengths")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	tr := Synthesize(traffic.Transpose, m, 0.2, 5, 300, 3)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != tr.Width || got.Height != tr.Height || len(got.Events) != len(tr.Events) {
+		t.Fatalf("header mismatch: %dx%d %d events", got.Width, got.Height, len(got.Events))
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not-a-trace v1 4 4 0\n",
+		"tdmnoc-trace v2 4 4 0\n",
+		"tdmnoc-trace v1 0 4 0\n",
+		"tdmnoc-trace v1 4 4 2\n1 0 1 0 5 1 -1\n",  // truncated
+		"tdmnoc-trace v1 4 4 1\n1 0 99 0 5 1 -1\n", // node outside mesh
+		"tdmnoc-trace v1 4 4 1\n1 3 3 0 5 1 -1\n",  // self send
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSortAndValidateOrdering(t *testing.T) {
+	tr := &Trace{Width: 4, Height: 4, Events: []Event{
+		{Cycle: 5, Src: 1, Dst: 2, SizeFlits: 5},
+		{Cycle: 1, Src: 0, Dst: 3, SizeFlits: 5},
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	tr.Sort()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Duration() != 5 {
+		t.Fatalf("duration %d", tr.Duration())
+	}
+	if (&Trace{}).Duration() != 0 {
+		t.Fatal("empty duration")
+	}
+}
+
+func TestReplayDeliversEverything(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	tr := Synthesize(traffic.Tornado, m, 0.10, 5, 1500, 11)
+	reps := NewReplayers(tr, 0)
+	cfg := network.HybridTDMConfig(6, 6)
+	net := network.New(cfg, func(id topology.NodeID) network.Endpoint {
+		if r := reps[id]; r != nil {
+			return r
+		}
+		return nil
+	})
+	defer net.Close()
+	net.EnableStats()
+	net.Run(int(tr.Duration()) + 10)
+	if !net.Drain(20000) {
+		t.Fatalf("replay failed to drain: %d in flight", net.InFlight())
+	}
+	var sent int64
+	for _, r := range reps {
+		sent += r.Sent
+		if !r.Done() {
+			t.Fatal("replayer not done after trace duration")
+		}
+	}
+	if sent != int64(len(tr.Events)) {
+		t.Fatalf("replayed %d of %d events", sent, len(tr.Events))
+	}
+	st := net.Stats()
+	if st.EjectedPackets != sent {
+		t.Fatalf("delivered %d of %d packets", st.EjectedPackets, sent)
+	}
+	d := net.Diagnose()
+	if d.MisroutedCS != 0 || d.DroppedCS != 0 {
+		t.Fatalf("invariants: %+v", d)
+	}
+}
+
+func TestReplayOffsetShiftsInjection(t *testing.T) {
+	tr := &Trace{Width: 4, Height: 4, Events: []Event{{Cycle: 0, Src: 0, Dst: 5, SizeFlits: 5}}}
+	reps := NewReplayers(tr, 100)
+	cfg := network.DefaultConfig(4, 4)
+	net := network.New(cfg, func(id topology.NodeID) network.Endpoint {
+		if r := reps[id]; r != nil {
+			return r
+		}
+		return nil
+	})
+	defer net.Close()
+	net.Run(50)
+	if reps[0].Sent != 0 {
+		t.Fatal("event injected before offset")
+	}
+	net.Run(100)
+	if reps[0].Sent != 1 {
+		t.Fatal("event not injected after offset")
+	}
+}
+
+func TestNilReplayerDone(t *testing.T) {
+	var r *Replayer
+	if !r.Done() {
+		t.Fatal("nil replayer not done")
+	}
+}

@@ -1,0 +1,188 @@
+// Package traffic provides the synthetic workloads of Section IV:
+// uniform random, tornado, and transpose patterns driven by a Bernoulli
+// injection process, plus a few extra canonical patterns used by the
+// ablation studies.
+package traffic
+
+import (
+	"fmt"
+
+	"tdmnoc/internal/flit"
+	"tdmnoc/internal/network"
+	"tdmnoc/internal/sim"
+	"tdmnoc/internal/topology"
+)
+
+// Pattern selects the destination distribution.
+type Pattern int
+
+const (
+	// UniformRandom sends each packet to a uniformly random other node.
+	UniformRandom Pattern = iota
+	// Tornado sends from (x, y) to (x + k/2 - 1 mod k, y).
+	Tornado
+	// Transpose sends from (x, y) to (y, x).
+	Transpose
+	// BitComplement sends from (x, y) to (k-1-x, k-1-y).
+	BitComplement
+	// Neighbor sends to the east neighbour (wrapping), a best-case
+	// pattern used by ablations.
+	Neighbor
+	// Hotspot sends most packets to a small set of central nodes — the
+	// many-to-few pattern of accelerator traffic, and the natural
+	// showcase for circuit-switched path sharing.
+	Hotspot
+)
+
+// String names the pattern as the paper abbreviates it.
+func (p Pattern) String() string {
+	switch p {
+	case UniformRandom:
+		return "UR"
+	case Tornado:
+		return "TOR"
+	case Transpose:
+		return "TR"
+	case BitComplement:
+		return "BC"
+	case Neighbor:
+		return "NBR"
+	case Hotspot:
+		return "HOT"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Destination returns the target node for a packet from src, and whether
+// the pattern produces any traffic from this source (transpose diagonal
+// nodes, for example, send nothing).
+func Destination(p Pattern, m topology.Mesh, src topology.NodeID, rng *sim.RNG) (topology.NodeID, bool) {
+	c := m.Coord(src)
+	switch p {
+	case UniformRandom:
+		if m.Nodes() < 2 {
+			return 0, false
+		}
+		for {
+			d := topology.NodeID(rng.Intn(m.Nodes()))
+			if d != src {
+				return d, true
+			}
+		}
+	case Tornado:
+		k := m.Width
+		dx := (c.X + k/2 - 1) % k
+		if dx == c.X {
+			return 0, false
+		}
+		return m.ID(topology.Coord{X: dx, Y: c.Y}), true
+	case Transpose:
+		if c.X == c.Y {
+			return 0, false
+		}
+		d := topology.Coord{X: c.Y, Y: c.X}
+		if !m.Contains(d) {
+			return 0, false
+		}
+		return m.ID(d), true
+	case BitComplement:
+		d := topology.Coord{X: m.Width - 1 - c.X, Y: m.Height - 1 - c.Y}
+		dst := m.ID(d)
+		if dst == src {
+			return 0, false
+		}
+		return dst, true
+	case Neighbor:
+		d := topology.Coord{X: (c.X + 1) % m.Width, Y: c.Y}
+		dst := m.ID(d)
+		if dst == src {
+			return 0, false
+		}
+		return dst, true
+	case Hotspot:
+		if rng.Bernoulli(0.8) {
+			hot := hotNodes(m)
+			d := hot[rng.Intn(len(hot))]
+			if d != src {
+				return d, true
+			}
+		}
+		for {
+			d := topology.NodeID(rng.Intn(m.Nodes()))
+			if d != src {
+				return d, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// hotNodes returns the hotspot destinations: the four tiles around the
+// mesh centre.
+func hotNodes(m topology.Mesh) []topology.NodeID {
+	cx, cy := m.Width/2, m.Height/2
+	pick := func(x, y int) topology.NodeID {
+		if x >= m.Width {
+			x = m.Width - 1
+		}
+		if y >= m.Height {
+			y = m.Height - 1
+		}
+		return m.ID(topology.Coord{X: x, Y: y})
+	}
+	return []topology.NodeID{
+		pick(cx-1, cy-1), pick(cx, cy-1), pick(cx-1, cy), pick(cx, cy),
+	}
+}
+
+// Synthetic is a network.Endpoint generating Bernoulli traffic under one
+// of the canonical patterns.
+type Synthetic struct {
+	Pattern Pattern
+	// Rate is the offered load in flits/node/cycle (Fig. 4/5's x-axis),
+	// converted to packets using the packet-switched packet length.
+	Rate float64
+	// FlitsPerPacket normalises the offered load (Table I: 5).
+	FlitsPerPacket int
+	// AllowCS marks generated messages as eligible for circuit switching.
+	AllowCS bool
+	// Slack passed to the switching decision (-1 = network default).
+	Slack int
+
+	stopped bool
+	sent    int64
+}
+
+// NewSynthetic builds a generator for the given pattern and offered load.
+func NewSynthetic(p Pattern, rate float64, flitsPerPacket int, allowCS bool) *Synthetic {
+	return &Synthetic{Pattern: p, Rate: rate, FlitsPerPacket: flitsPerPacket, AllowCS: allowCS, Slack: -1}
+}
+
+// Stop halts generation (used to drain the network at the end of a run).
+func (s *Synthetic) Stop() { s.stopped = true }
+
+// Sent reports how many packets this endpoint generated.
+func (s *Synthetic) Sent() int64 { return s.sent }
+
+// Tick implements network.Endpoint.
+func (s *Synthetic) Tick(now sim.Cycle, ni *network.NI) {
+	if s.stopped || s.Rate <= 0 {
+		return
+	}
+	if !ni.RNG().Bernoulli(s.Rate / float64(s.FlitsPerPacket)) {
+		return
+	}
+	dst, ok := Destination(s.Pattern, ni.Mesh(), ni.ID(), ni.RNG())
+	if !ok {
+		return
+	}
+	ni.Send(now, dst, network.SendOptions{
+		Class:   flit.ClassOther,
+		AllowCS: s.AllowCS,
+		Slack:   s.Slack,
+	})
+	s.sent++
+}
+
+// OnDeliver implements network.Endpoint (synthetic traffic sinks silently).
+func (s *Synthetic) OnDeliver(now sim.Cycle, ni *network.NI, pkt *flit.Packet) {}

@@ -1,0 +1,164 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tdmnoc/internal/network"
+	"tdmnoc/internal/sim"
+	"tdmnoc/internal/topology"
+)
+
+func TestPatternStrings(t *testing.T) {
+	want := map[Pattern]string{
+		UniformRandom: "UR", Tornado: "TOR", Transpose: "TR",
+		BitComplement: "BC", Neighbor: "NBR",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+	if Pattern(42).String() == "" {
+		t.Error("unknown pattern empty string")
+	}
+}
+
+func TestUniformRandomNeverSelf(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	rng := sim.NewRNG(1)
+	for i := 0; i < 2000; i++ {
+		src := topology.NodeID(rng.Intn(m.Nodes()))
+		dst, ok := Destination(UniformRandom, m, src, rng)
+		if !ok {
+			t.Fatal("UR produced no destination")
+		}
+		if dst == src {
+			t.Fatal("UR selected self")
+		}
+	}
+}
+
+func TestUniformRandomCoversAll(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	rng := sim.NewRNG(2)
+	seen := map[topology.NodeID]bool{}
+	for i := 0; i < 5000; i++ {
+		dst, _ := Destination(UniformRandom, m, 0, rng)
+		seen[dst] = true
+	}
+	if len(seen) != m.Nodes()-1 {
+		t.Fatalf("UR covered %d destinations, want %d", len(seen), m.Nodes()-1)
+	}
+}
+
+func TestTornadoFormula(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	// (x, y) -> (x + k/2 - 1 mod k, y): from (0, 2) -> (2, 2).
+	src := m.ID(topology.Coord{X: 0, Y: 2})
+	dst, ok := Destination(Tornado, m, src, nil)
+	if !ok || dst != m.ID(topology.Coord{X: 2, Y: 2}) {
+		t.Fatalf("tornado from (0,2) = %v (%v)", m.Coord(dst), ok)
+	}
+	// Row preserved for every source.
+	for id := topology.NodeID(0); id < topology.NodeID(m.Nodes()); id++ {
+		if d, ok2 := Destination(Tornado, m, id, nil); ok2 {
+			if m.Coord(d).Y != m.Coord(id).Y {
+				t.Fatalf("tornado changed row: %d -> %d", id, d)
+			}
+		}
+	}
+}
+
+func TestTransposeFormulaAndDiagonal(t *testing.T) {
+	m := topology.NewMesh(6, 6)
+	src := m.ID(topology.Coord{X: 1, Y: 4})
+	dst, ok := Destination(Transpose, m, src, nil)
+	if !ok || dst != m.ID(topology.Coord{X: 4, Y: 1}) {
+		t.Fatalf("transpose of (1,4) = %v", m.Coord(dst))
+	}
+	diag := m.ID(topology.Coord{X: 3, Y: 3})
+	if _, ok := Destination(Transpose, m, diag, nil); ok {
+		t.Fatal("diagonal node generated transpose traffic")
+	}
+}
+
+func TestBitComplementAndNeighbor(t *testing.T) {
+	m := topology.NewMesh(4, 4)
+	if d, ok := Destination(BitComplement, m, 0, nil); !ok || d != 15 {
+		t.Fatalf("BC of 0 = %d (%v)", d, ok)
+	}
+	if d, ok := Destination(Neighbor, m, 0, nil); !ok || d != 1 {
+		t.Fatalf("NBR of 0 = %d (%v)", d, ok)
+	}
+	// Neighbor wraps within the row.
+	if d, ok := Destination(Neighbor, m, 3, nil); !ok || d != 0 {
+		t.Fatalf("NBR of 3 = %d (%v)", d, ok)
+	}
+}
+
+func TestDestinationsStayInMesh(t *testing.T) {
+	m := topology.NewMesh(8, 8)
+	rng := sim.NewRNG(3)
+	f := func(p8, s8 uint8) bool {
+		p := Pattern(int(p8) % 5)
+		src := topology.NodeID(int(s8) % m.Nodes())
+		dst, ok := Destination(p, m, src, rng)
+		if !ok {
+			return true
+		}
+		return m.Contains(m.Coord(dst)) && dst != src
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSyntheticEndpointInjects(t *testing.T) {
+	cfg := network.DefaultConfig(4, 4)
+	gens := map[topology.NodeID]*Synthetic{}
+	net := network.New(cfg, func(id topology.NodeID) network.Endpoint {
+		g := NewSynthetic(UniformRandom, 0.2, cfg.PSDataFlits, false)
+		gens[id] = g
+		return g
+	})
+	defer net.Close()
+	net.EnableStats()
+	net.Run(2000)
+	total := int64(0)
+	for _, g := range gens {
+		total += g.Sent()
+	}
+	if total == 0 {
+		t.Fatal("synthetic endpoints generated nothing")
+	}
+	// Offered 0.2 flits/node/cycle over 16 nodes and 2000 cycles: about
+	// 1280 packets; allow generous tolerance.
+	if total < 800 || total > 1800 {
+		t.Fatalf("generated %d packets, expected about 1280", total)
+	}
+	// Stop halts generation.
+	for _, g := range gens {
+		g.Stop()
+	}
+	before := total
+	net.Run(500)
+	after := int64(0)
+	for _, g := range gens {
+		after += g.Sent()
+	}
+	if after != before {
+		t.Fatal("Stop did not halt generation")
+	}
+}
+
+func TestSyntheticZeroRate(t *testing.T) {
+	cfg := network.DefaultConfig(4, 4)
+	g := NewSynthetic(UniformRandom, 0, cfg.PSDataFlits, false)
+	net := network.New(cfg, func(id topology.NodeID) network.Endpoint { return g })
+	defer net.Close()
+	net.Run(500)
+	if g.Sent() != 0 {
+		t.Fatal("zero-rate generator sent packets")
+	}
+}
