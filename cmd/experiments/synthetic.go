@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"runtime"
-	"sync"
 
 	"tdmnoc/hsnoc"
+	"tdmnoc/internal/campaign"
+	"tdmnoc/internal/stats"
 )
 
 // synthPoint is one (configuration, pattern, rate) measurement.
@@ -13,7 +16,7 @@ type synthPoint struct {
 	label   string
 	pattern hsnoc.Pattern
 	rate    float64
-	res     hsnoc.Results
+	res     stats.RunRecord
 }
 
 // synthJob describes one simulation to run.
@@ -26,29 +29,25 @@ type synthJob struct {
 	measure int
 }
 
-// runSynthetic executes jobs in parallel (each job is internally
-// deterministic, so the output order is fixed by the job list).
+// runSynthetic executes jobs on the campaign engine (the one execution
+// path shared with cmd/sweep and cmd/nocsimd): bounded parallelism,
+// panic containment, and within-run dedup of identical configs. Each
+// job is internally deterministic, so output order is fixed by the job
+// list.
 func runSynthetic(jobs []synthJob, workers int) []synthPoint {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	out := make([]synthPoint, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	cjobs := make([]campaign.Job, len(jobs))
 	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j synthJob) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			s := hsnoc.NewSynthetic(j.cfg, j.pattern, j.rate)
-			defer s.Close()
-			s.Warmup(j.warm)
-			res := s.Run(j.measure)
-			out[i] = synthPoint{label: j.label, pattern: j.pattern, rate: j.rate, res: res}
-		}(i, j)
+		cjobs[i] = campaign.NewJob(j.cfg, j.pattern, j.rate, j.warm, j.measure, j.label)
 	}
-	wg.Wait()
+	eng := campaign.New(campaign.Options{Workers: workers})
+	recs := eng.Run(context.Background(), cjobs)
+	out := make([]synthPoint, len(jobs))
+	for i, rec := range recs {
+		if rec.Err != "" {
+			fmt.Fprintf(os.Stderr, "experiments: job %s failed: %s\n", rec.Label, rec.Err)
+		}
+		out[i] = synthPoint{label: jobs[i].label, pattern: jobs[i].pattern, rate: jobs[i].rate, res: rec.Result}
+	}
 	return out
 }
 
@@ -124,8 +123,8 @@ func fig4(rc runConfig) {
 		fmt.Printf("%-16s %8s %10s %10s %10s %8s\n", "config", "offered", "accepted", "netlat", "totlat", "cs%")
 		for _, p := range pts {
 			fmt.Printf("%-16s %8.2f %10.3f %10.1f %10.1f %8.1f\n",
-				p.label, p.rate, p.res.PayloadThroughput, p.res.AvgNetLatency, p.res.AvgTotalLatency,
-				100*p.res.CSFlitFraction)
+				p.label, p.rate, p.res.PayloadThroughput(), p.res.AvgNetLatency(), p.res.AvgTotalLatency(),
+				100*p.res.CSFlitFraction())
 		}
 	}
 	fmt.Println()
@@ -207,10 +206,10 @@ func fig6(rc runConfig) {
 			maxBase, maxVct := 0.0, 0.0
 			var satBase float64
 			for i := 0; i < len(pts); i += 2 {
-				if t := pts[i].res.PayloadThroughput; t > maxBase {
+				if t := pts[i].res.PayloadThroughput(); t > maxBase {
 					maxBase, satBase = t, pts[i].rate
 				}
-				if t := pts[i+1].res.PayloadThroughput; t > maxVct {
+				if t := pts[i+1].res.PayloadThroughput(); t > maxVct {
 					maxVct = t
 				}
 			}

@@ -13,40 +13,46 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"tdmnoc/hsnoc"
+	"tdmnoc/internal/campaign"
 	"tdmnoc/internal/textplot"
 )
 
-func parseMode(s string) (hsnoc.Mode, error) {
-	switch strings.ToLower(s) {
-	case "packet", "ps", "packet-vc4":
-		return hsnoc.PacketSwitched, nil
-	case "tdm", "hybrid-tdm":
-		return hsnoc.HybridTDM, nil
-	case "sdm", "hybrid-sdm":
-		return hsnoc.HybridSDM, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q (packet|tdm|sdm)", s)
-}
+// parseMode and parsePattern delegate to the campaign package, the one
+// home of the CLI name mappings.
+func parseMode(s string) (hsnoc.Mode, error) { return campaign.ParseMode(s) }
 
-func parsePattern(s string) (hsnoc.Pattern, error) {
-	switch strings.ToLower(s) {
-	case "ur", "uniform", "random":
-		return hsnoc.UniformRandom, nil
-	case "tor", "tornado":
-		return hsnoc.Tornado, nil
-	case "tr", "transpose":
-		return hsnoc.Transpose, nil
-	case "bc", "bitcomplement":
-		return hsnoc.BitComplement, nil
-	case "nbr", "neighbor":
-		return hsnoc.Neighbor, nil
-	case "hot", "hotspot":
-		return hsnoc.Hotspot, nil
+func parsePattern(s string) (hsnoc.Pattern, error) { return campaign.ParsePattern(s) }
+
+// validateFlags rejects flag combinations that would panic, hang, or
+// silently do nothing — with a clear message and exit code 2 instead.
+func validateFlags(rate float64, warmup, cycles, packets, workers, slots int, hetero bool) error {
+	if rate < 0 {
+		return fmt.Errorf("nocsim: negative injection rate %v", rate)
 	}
-	return 0, fmt.Errorf("unknown pattern %q (ur|tornado|transpose|bc|neighbor|hotspot)", s)
+	if rate > 1 {
+		return fmt.Errorf("nocsim: injection rate %v exceeds 1 flit/node/cycle", rate)
+	}
+	if packets < 0 {
+		return fmt.Errorf("nocsim: negative packet target %d", packets)
+	}
+	if packets > 0 && rate == 0 && !hetero {
+		return fmt.Errorf("nocsim: a zero injection rate can never reach the %d-packet target; raise -rate or drop -packets", packets)
+	}
+	if warmup < 0 {
+		return fmt.Errorf("nocsim: negative warm-up %d", warmup)
+	}
+	if cycles <= 0 {
+		return fmt.Errorf("nocsim: measured region must be positive, got %d cycles", cycles)
+	}
+	if workers < 0 {
+		return fmt.Errorf("nocsim: negative worker count %d", workers)
+	}
+	if slots <= 0 {
+		return fmt.Errorf("nocsim: slot-table capacity must be positive, got %d", slots)
+	}
+	return nil
 }
 
 func main() {
@@ -57,6 +63,7 @@ func main() {
 	height := flag.Int("height", 6, "mesh height")
 	warmup := flag.Int("warmup", 8000, "warm-up cycles (not measured)")
 	cycles := flag.Int("cycles", 40000, "measured cycles")
+	packets := flag.Int("packets", 0, "stop measuring once this many packets are delivered (0 = run the full -cycles; -cycles still caps the run)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	slots := flag.Int("slots", 128, "slot-table capacity (tdm)")
 	sharing := flag.Bool("sharing", false, "enable circuit-switched path sharing (tdm)")
@@ -74,6 +81,10 @@ func main() {
 
 	m, err := parseMode(*mode)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := validateFlags(*rate, *warmup, *cycles, *packets, *workers, *slots, *hetero); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -98,6 +109,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	if *hetero {
@@ -125,9 +140,18 @@ func main() {
 		}
 	}
 	s.Warmup(*warmup)
-	res := s.Run(*cycles)
+	var res hsnoc.Results
+	if *packets > 0 {
+		res = s.RunUntilPackets(int64(*packets), *cycles)
+		if res.Packets < int64(*packets) {
+			fmt.Fprintf(os.Stderr, "nocsim: only %d of %d target packets delivered within %d cycles\n",
+				res.Packets, *packets, *cycles)
+		}
+	} else {
+		res = s.Run(*cycles)
+	}
 
-	fmt.Printf("%v, pattern %v, offered %.3f flits/node/cycle, %d cycles\n", m, p, *rate, *cycles)
+	fmt.Printf("%v, pattern %v, offered %.3f flits/node/cycle, %d cycles\n", m, p, *rate, res.Cycles)
 	fmt.Printf("  delivered packets       %d\n", res.Packets)
 	fmt.Printf("  accepted throughput     %.4f flits/node/cycle (%.4f payload-normalised)\n", res.Throughput, res.PayloadThroughput)
 	fmt.Printf("  avg network latency     %.1f cycles\n", res.AvgNetLatency)

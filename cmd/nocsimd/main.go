@@ -1,0 +1,69 @@
+// Command nocsimd is the batch-simulation service: it accepts
+// declarative campaign specs over HTTP, expands them into simulation
+// jobs, runs them on the campaign engine's bounded worker pool, and
+// persists results as JSONL so interrupted campaigns resume without
+// recomputing finished jobs.
+//
+//	nocsimd -addr :8080 -data ./nocsimd-data
+//
+//	curl -s -X POST localhost:8080/campaigns -d @examples/specs/fig4-quick.json
+//	curl -s localhost:8080/campaigns/<id>            # status + counters
+//	curl -s localhost:8080/campaigns/<id>/results    # records (add ?format=jsonl for raw lines)
+//	curl -s localhost:8080/campaigns/<id>/summary    # merged across seeds
+//	curl -s -X POST localhost:8080/campaigns/<id>/cancel
+//	curl -s localhost:8080/metrics                   # Prometheus counters
+//
+// SIGINT/SIGTERM drains gracefully: no new jobs start, in-flight jobs
+// finish and persist, then the server exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "nocsimd-data", "directory for campaign result stores (JSONL)")
+	workers := flag.Int("workers", 0, "concurrent jobs per campaign (0 = NumCPU)")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job timeout (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
+	flag.Parse()
+
+	if err := os.MkdirAll(*data, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "nocsimd: %v\n", err)
+		os.Exit(1)
+	}
+
+	s := newServer(*data, *workers, *jobTimeout)
+	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("nocsimd: listening on %s, data dir %s\n", *addr, *data)
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "nocsimd: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Println("nocsimd: draining in-flight jobs...")
+		s.drainAll(*drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+		fmt.Println("nocsimd: stopped")
+	}
+}

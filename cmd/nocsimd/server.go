@@ -1,0 +1,338 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"tdmnoc/internal/campaign"
+)
+
+// server owns the campaign registry. Each submitted campaign gets its
+// own engine and runs in a background goroutine; results persist to a
+// per-spec JSONL store in dataDir, so re-submitting a spec — after a
+// completed run, a cancel, or a crash — resumes from whatever finished.
+type server struct {
+	dataDir    string
+	workers    int
+	jobTimeout time.Duration
+
+	mu        sync.Mutex
+	campaigns map[string]*run
+	seq       int
+}
+
+// run is one campaign execution. The immutable identity fields are set
+// at submit time; State and records are written by the background
+// goroutine under mu.
+type run struct {
+	ID        string
+	Name      string
+	SpecHash  string
+	Jobs      int
+	Submitted time.Time
+	Spec      campaign.Spec
+
+	engine *campaign.Engine
+	store  *campaign.Store
+	cancel context.CancelFunc
+	doneCh chan struct{}
+
+	mu      sync.Mutex
+	State   string // running | done | cancelled
+	records []campaign.Record
+}
+
+// statusView is the JSON shape of GET /campaigns and /campaigns/{id}:
+// an immutable snapshot of a run, safe to marshal without holding any
+// lock.
+type statusView struct {
+	ID        string          `json:"id"`
+	Name      string          `json:"name,omitempty"`
+	SpecHash  string          `json:"spec_hash"`
+	Jobs      int             `json:"jobs"`
+	State     string          `json:"state"`
+	Submitted time.Time       `json:"submitted"`
+	Spec      campaign.Spec   `json:"spec"`
+	Counters  campaign.Status `json:"counters"`
+}
+
+// view snapshots the run's mutable state under its lock.
+func (c *run) view() statusView {
+	c.mu.Lock()
+	state := c.State
+	c.mu.Unlock()
+	return statusView{
+		ID: c.ID, Name: c.Name, SpecHash: c.SpecHash, Jobs: c.Jobs,
+		State: state, Submitted: c.Submitted, Spec: c.Spec,
+		Counters: c.engine.Status(),
+	}
+}
+
+func newServer(dataDir string, workers int, jobTimeout time.Duration) *server {
+	return &server{dataDir: dataDir, workers: workers, jobTimeout: jobTimeout, campaigns: map[string]*run{}}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /campaigns/{id}/summary", s.handleSummary)
+	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit expands the posted spec and launches it. The response
+// returns immediately with the campaign id; progress is polled via
+// GET /campaigns/{id}.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := campaign.ParseSpec(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hash := spec.Hash()
+	store, err := campaign.OpenStore(filepath.Join(s.dataDir, "spec-"+hash[:16]+".jsonl"))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := campaign.New(campaign.Options{Workers: s.workers, JobTimeout: s.jobTimeout, Store: store})
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("c%04d-%s", s.seq, hash[:12])
+	c := &run{
+		ID: id, Name: spec.Name, SpecHash: hash, Jobs: len(jobs),
+		State: "running", Submitted: time.Now().UTC(), Spec: spec,
+		engine: eng, store: store, cancel: cancel, doneCh: make(chan struct{}),
+	}
+	s.campaigns[id] = c
+	s.mu.Unlock()
+
+	go func() {
+		defer close(c.doneCh)
+		defer store.Close()
+		recs := eng.Run(ctx, jobs)
+		cancel()
+		c.mu.Lock()
+		c.records = recs
+		if ctx.Err() != nil && anyCancelled(recs) {
+			c.State = "cancelled"
+		} else {
+			c.State = "done"
+		}
+		c.mu.Unlock()
+	}()
+
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id": id, "jobs": len(jobs), "spec_hash": hash,
+		"status_url":  "/campaigns/" + id,
+		"results_url": "/campaigns/" + id + "/results",
+	})
+}
+
+// anyCancelled reports whether any record was skipped or aborted —
+// distinguishing a cancel that landed mid-run from one that arrived
+// after the last job finished.
+func anyCancelled(recs []campaign.Record) bool {
+	for _, r := range recs {
+		if r.Err != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *server) get(id string) (*run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		runs = append(runs, c)
+	}
+	s.mu.Unlock()
+	views := make([]statusView, 0, len(runs))
+	for _, c := range runs {
+		views = append(views, c.view())
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, c.view())
+}
+
+// handleResults streams the campaign's records — as a JSON array by
+// default, or as raw JSONL with ?format=jsonl. Partial results are
+// served while the campaign is still running (whatever the store holds
+// so far).
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	c.mu.Lock()
+	recs := make([]campaign.Record, len(c.records))
+	copy(recs, c.records)
+	c.mu.Unlock()
+	if len(recs) == 0 {
+		// Still running: serve whatever the store has persisted so far
+		// (unordered partial results).
+		recs = c.store.Records()
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Label < recs[j].Label })
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/jsonl")
+		enc := json.NewEncoder(w)
+		for _, rec := range recs {
+			enc.Encode(rec)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+// handleSummary aggregates the campaign's finished records across
+// seeds (the mergeable-record path): one merged RunRecord per
+// (mode, pattern, mesh, slots, rate) group, with derived averages.
+func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	c.mu.Lock()
+	recs := make([]campaign.Record, len(c.records))
+	copy(recs, c.records)
+	c.mu.Unlock()
+	agg := campaign.Aggregate(recs, campaign.GroupWithoutSeed)
+	type row struct {
+		Group             string  `json:"group"`
+		Seeds             int64   `json:"seeds"`
+		AvgNetLatency     float64 `json:"avg_net_latency"`
+		AvgTotalLatency   float64 `json:"avg_total_latency"`
+		Throughput        float64 `json:"throughput"`
+		PayloadThroughput float64 `json:"payload_throughput"`
+		CSFlitFraction    float64 `json:"cs_flit_fraction"`
+		EnergyPJ          float64 `json:"energy_pj"`
+	}
+	rows := make([]row, 0, len(agg))
+	for g, rec := range agg {
+		rows = append(rows, row{
+			Group: g, Seeds: rec.Runs,
+			AvgNetLatency: rec.AvgNetLatency(), AvgTotalLatency: rec.AvgTotalLatency(),
+			Throughput: rec.Throughput(), PayloadThroughput: rec.PayloadThroughput(),
+			CSFlitFraction: rec.CSFlitFraction(), EnergyPJ: rec.EnergyPJ,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Group < rows[j].Group })
+	writeJSON(w, http.StatusOK, rows)
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	c.cancel()
+	writeJSON(w, http.StatusOK, map[string]string{"id": c.ID, "state": "cancelling"})
+}
+
+// handleMetrics exposes the aggregate counters across every campaign
+// in Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	var total campaign.Status
+	campaigns := len(s.campaigns)
+	running := 0
+	for _, c := range s.campaigns {
+		st := c.engine.Status()
+		total.Queued += st.Queued
+		total.Running += st.Running
+		total.Done += st.Done
+		total.Failed += st.Failed
+		total.CacheHits += st.CacheHits
+		total.CyclesSimulated += st.CyclesSimulated
+		c.mu.Lock()
+		if c.State == "running" {
+			running++
+		}
+		c.mu.Unlock()
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP nocsimd_jobs_queued Jobs waiting for a worker.\n# TYPE nocsimd_jobs_queued gauge\nnocsimd_jobs_queued %d\n", total.Queued)
+	fmt.Fprintf(w, "# HELP nocsimd_jobs_running Jobs currently simulating.\n# TYPE nocsimd_jobs_running gauge\nnocsimd_jobs_running %d\n", total.Running)
+	fmt.Fprintf(w, "# HELP nocsimd_jobs_done Jobs completed (including cache hits).\n# TYPE nocsimd_jobs_done counter\nnocsimd_jobs_done %d\n", total.Done)
+	fmt.Fprintf(w, "# HELP nocsimd_jobs_failed Jobs failed, timed out, or skipped.\n# TYPE nocsimd_jobs_failed counter\nnocsimd_jobs_failed %d\n", total.Failed)
+	fmt.Fprintf(w, "# HELP nocsimd_cache_hits Jobs served from the result cache.\n# TYPE nocsimd_cache_hits counter\nnocsimd_cache_hits %d\n", total.CacheHits)
+	fmt.Fprintf(w, "# HELP nocsimd_cycles_simulated Total simulated cycles (warmup + measured).\n# TYPE nocsimd_cycles_simulated counter\nnocsimd_cycles_simulated %d\n", total.CyclesSimulated)
+	fmt.Fprintf(w, "# HELP nocsimd_campaigns_total Campaigns submitted since start.\n# TYPE nocsimd_campaigns_total counter\nnocsimd_campaigns_total %d\n", campaigns)
+	fmt.Fprintf(w, "# HELP nocsimd_campaigns_running Campaigns still executing.\n# TYPE nocsimd_campaigns_running gauge\nnocsimd_campaigns_running %d\n", running)
+}
+
+// drainAll tells every engine to stop launching jobs and waits (up to
+// timeout) for in-flight jobs to land and persist — the graceful half
+// of shutdown.
+func (s *server) drainAll(timeout time.Duration) {
+	s.mu.Lock()
+	var waits []chan struct{}
+	for _, c := range s.campaigns {
+		c.engine.Drain()
+		waits = append(waits, c.doneCh)
+	}
+	s.mu.Unlock()
+	deadline := time.After(timeout)
+	for _, ch := range waits {
+		select {
+		case <-ch:
+		case <-deadline:
+			return
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"tdmnoc/internal/campaign"
+)
+
+// testSpecJSON is a 3-axis grid: 2 modes x 2 rates x 3 seeds x
+// 2 patterns = 24 jobs, sized to finish in a couple of seconds.
+const testSpecJSON = `{
+  "name": "acceptance",
+  "modes": ["packet", "tdm"],
+  "patterns": ["tornado", "ur"],
+  "meshes": [{"width": 4, "height": 4}],
+  "rates": [0.05, 0.10],
+  "seeds": [1, 2, 3],
+  "warmup_cycles": 200,
+  "measure_cycles": 600
+}`
+
+func postSpec(t *testing.T, ts *httptest.Server, spec string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("POST /campaigns: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /campaigns status %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) statusView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st statusView
+		getJSON(t, ts.URL+"/campaigns/"+id, &st)
+		if st.State != "running" {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s did not finish", id)
+	return statusView{}
+}
+
+func metric(t *testing.T, ts *httptest.Server, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var val int64
+			if _, err := fmt.Sscanf(line, name+" %d", &val); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return val
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return 0
+}
+
+// TestServiceAcceptance is the issue's acceptance scenario: a 3-axis,
+// 24-job campaign completes with consistent counters, and re-submitting
+// the identical spec is served 100% from the result cache.
+func TestServiceAcceptance(t *testing.T) {
+	s := newServer(t.TempDir(), 4, time.Minute)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	sub := postSpec(t, ts, testSpecJSON)
+	if int(sub["jobs"].(float64)) != 24 {
+		t.Fatalf("submitted %v jobs, want 24", sub["jobs"])
+	}
+	id := sub["id"].(string)
+
+	st := waitDone(t, ts, id)
+	if st.State != "done" {
+		t.Fatalf("campaign state %q, want done", st.State)
+	}
+	if st.Counters.Done != 24 || st.Counters.Failed != 0 || st.Counters.Queued != 0 {
+		t.Fatalf("counters inconsistent with 24 jobs: %+v", st.Counters)
+	}
+	if st.Counters.CyclesSimulated != 24*800 {
+		t.Errorf("cycles simulated = %d, want %d", st.Counters.CyclesSimulated, 24*800)
+	}
+
+	// Results: 24 records, none failed, all carrying metrics.
+	var recs []campaign.Record
+	getJSON(t, ts.URL+"/campaigns/"+id+"/results", &recs)
+	if len(recs) != 24 {
+		t.Fatalf("results count %d, want 24", len(recs))
+	}
+	for _, r := range recs {
+		if r.Err != "" || r.Result.Packets == 0 {
+			t.Errorf("bad record %s: err=%q packets=%d", r.Label, r.Err, r.Result.Packets)
+		}
+	}
+
+	// Summary merges the 3 seeds: 24/3 = 8 groups.
+	var rows []map[string]any
+	getJSON(t, ts.URL+"/campaigns/"+id+"/summary", &rows)
+	if len(rows) != 8 {
+		t.Errorf("summary groups = %d, want 8", len(rows))
+	}
+	for _, row := range rows {
+		if int(row["seeds"].(float64)) != 3 {
+			t.Errorf("group %v merged %v seeds, want 3", row["group"], row["seeds"])
+		}
+	}
+
+	if got := metric(t, ts, "nocsimd_jobs_done"); got != 24 {
+		t.Errorf("nocsimd_jobs_done = %d, want 24", got)
+	}
+	if got := metric(t, ts, "nocsimd_cache_hits"); got != 0 {
+		t.Errorf("nocsimd_cache_hits = %d, want 0 on first run", got)
+	}
+
+	// Re-submit the identical spec: every job must be a cache hit and
+	// no new cycles may be simulated.
+	sub2 := postSpec(t, ts, testSpecJSON)
+	id2 := sub2["id"].(string)
+	if id2 == id {
+		t.Fatalf("resubmission reused campaign id %s", id)
+	}
+	st2 := waitDone(t, ts, id2)
+	if st2.Counters.CacheHits != 24 || st2.Counters.CyclesSimulated != 0 {
+		t.Fatalf("resubmission: cache hits %d (want 24), cycles %d (want 0)",
+			st2.Counters.CacheHits, st2.Counters.CyclesSimulated)
+	}
+	if got := metric(t, ts, "nocsimd_cache_hits"); got != 24 {
+		t.Errorf("nocsimd_cache_hits = %d, want 24 after resubmission", got)
+	}
+	if got := metric(t, ts, "nocsimd_jobs_done"); got != 48 {
+		t.Errorf("nocsimd_jobs_done = %d, want 48 across both campaigns", got)
+	}
+	if got := metric(t, ts, "nocsimd_campaigns_total"); got != 2 {
+		t.Errorf("nocsimd_campaigns_total = %d, want 2", got)
+	}
+}
+
+func TestServiceRejectsBadSpec(t *testing.T) {
+	s := newServer(t.TempDir(), 2, time.Minute)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"empty":         `{}`,
+		"unknown field": `{"modes":["tdm"],"patterns":["ur"],"rates":[0.1],"bogus":true}`,
+		"bad mode":      `{"modes":["quantum"],"patterns":["ur"],"rates":[0.1]}`,
+		"zero rate":     `{"modes":["tdm"],"patterns":["ur"],"rates":[0]}`,
+		"not json":      `modes=tdm`,
+	} {
+		resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/campaigns/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown campaign: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServiceCancelAndResume cancels a campaign mid-run, then
+// re-submits the same spec and checks the finished prefix is served
+// from the persisted store.
+func TestServiceCancelAndResume(t *testing.T) {
+	dir := t.TempDir()
+	s := newServer(dir, 1, time.Minute) // one worker → slow enough to cancel mid-run
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	// A bigger grid so the single worker is still busy when we cancel.
+	spec := `{
+	  "modes": ["tdm"], "patterns": ["tornado"],
+	  "meshes": [{"width": 5, "height": 5}],
+	  "rates": [0.05, 0.08, 0.11, 0.14, 0.17, 0.20],
+	  "seeds": [1, 2, 3, 4],
+	  "warmup_cycles": 2000, "measure_cycles": 6000
+	}`
+	sub := postSpec(t, ts, spec)
+	id := sub["id"].(string)
+	jobs := int(sub["jobs"].(float64))
+
+	// Let a few jobs land, then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var st statusView
+		getJSON(t, ts.URL+"/campaigns/"+id, &st)
+		if st.Counters.Done >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, err := http.Post(ts.URL+"/campaigns/"+id+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st := waitDone(t, ts, id)
+	if st.Counters.Done == 0 || st.Counters.Done >= int64(jobs) {
+		t.Fatalf("cancel landed at %d/%d jobs — not mid-run", st.Counters.Done, jobs)
+	}
+	finished := st.Counters.Done
+
+	// Re-submit: the finished prefix must come from cache.
+	sub2 := postSpec(t, ts, spec)
+	st2 := waitDone(t, ts, sub2["id"].(string))
+	if st2.State != "done" {
+		t.Fatalf("resumed campaign state %q", st2.State)
+	}
+	if st2.Counters.Done != int64(jobs) {
+		t.Errorf("resumed done = %d, want %d", st2.Counters.Done, jobs)
+	}
+	if st2.Counters.CacheHits < finished {
+		t.Errorf("resumed cache hits = %d, want >= %d (the jobs finished before cancel)",
+			st2.Counters.CacheHits, finished)
+	}
+}

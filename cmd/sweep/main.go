@@ -3,23 +3,25 @@
 //
 //	sweep -mode tdm -pattern tornado -from 0.05 -to 0.5 -step 0.05
 //	sweep -mode packet -pattern ur > ps-ur.csv
+//
+// Sweeps execute on the campaign engine; pass -results sweep.jsonl to
+// persist records so an interrupted or repeated sweep resumes from the
+// finished points instead of recomputing them.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"strings"
-	"sync"
 
-	"tdmnoc/hsnoc"
+	"tdmnoc/internal/campaign"
 	"tdmnoc/internal/textplot"
 )
 
 func main() {
 	mode := flag.String("mode", "tdm", "switching mode: packet|tdm|sdm")
-	pattern := flag.String("pattern", "tornado", "traffic pattern: ur|tornado|transpose|bc|neighbor")
+	pattern := flag.String("pattern", "tornado", "traffic pattern: ur|tornado|transpose|bc|neighbor|hotspot")
 	width := flag.Int("width", 6, "mesh width")
 	height := flag.Int("height", 6, "mesh height")
 	from := flag.Float64("from", 0.05, "first offered load")
@@ -30,96 +32,82 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	sharing := flag.Bool("sharing", false, "path sharing (tdm)")
 	vcgating := flag.Bool("vcgating", false, "VC power gating")
+	results := flag.String("results", "", "persist records to this JSONL file (enables resume and caching)")
 	plot := flag.Bool("plot", false, "render ASCII load-latency and energy charts after the CSV")
 	flag.Parse()
 
-	m, err := parseMode(*mode)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if *step <= 0 || *to < *from {
+		fmt.Fprintf(os.Stderr, "sweep: bad load range [%v, %v] step %v\n", *from, *to, *step)
 		os.Exit(2)
 	}
-	p, err := parsePattern(*pattern)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
 	var rates []float64
 	for r := *from; r <= *to+1e-9; r += *step {
 		rates = append(rates, r)
 	}
-	results := make([]hsnoc.Results, len(rates))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i, r := range rates {
-		wg.Add(1)
-		go func(i int, r float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := hsnoc.DefaultConfig(*width, *height)
-			cfg.Mode = m
-			cfg.Seed = *seed
-			cfg.PathSharing = *sharing
-			cfg.VCPowerGating = *vcgating
-			s := hsnoc.NewSynthetic(cfg, p, r)
-			defer s.Close()
-			s.Warmup(*warmup)
-			results[i] = s.Run(*cycles)
-		}(i, r)
-	}
-	wg.Wait()
 
+	spec := campaign.Spec{
+		Name:          "sweep",
+		Modes:         []string{*mode},
+		Patterns:      []string{*pattern},
+		Meshes:        []campaign.MeshSize{{Width: *width, Height: *height}},
+		Rates:         rates,
+		Seeds:         []uint64{*seed},
+		PathSharing:   *sharing,
+		VCPowerGating: *vcgating,
+		WarmupCycles:  *warmup,
+		MeasureCycles: *cycles,
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var store *campaign.Store
+	if *results != "" {
+		store, err = campaign.OpenStore(*results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer store.Close()
+	}
+	eng := campaign.New(campaign.Options{Store: store})
+	recs := eng.Run(context.Background(), jobs)
+
+	failed := 0
 	fmt.Println("offered,accepted,payload_accepted,net_latency,total_latency,cs_fraction,energy_pj")
-	for i, r := range rates {
-		res := results[i]
+	for i, rec := range recs {
+		if rec.Err != "" {
+			fmt.Fprintf(os.Stderr, "sweep: %s: %s\n", rec.Label, rec.Err)
+			failed++
+			continue
+		}
+		res := rec.Result
 		fmt.Printf("%.3f,%.4f,%.4f,%.2f,%.2f,%.4f,%.0f\n",
-			r, res.Throughput, res.PayloadThroughput, res.AvgNetLatency, res.AvgTotalLatency,
-			res.CSFlitFraction, res.Energy.TotalPJ)
+			rates[i], res.Throughput(), res.PayloadThroughput(), res.AvgNetLatency(), res.AvgTotalLatency(),
+			res.CSFlitFraction(), res.EnergyPJ)
 	}
 	if *plot {
 		lat := textplot.Plot{Title: "load vs total latency", XLabel: "offered flits/node/cycle", YLabel: "cycles", YMax: 300}
 		acc := textplot.Plot{Title: "load vs accepted payload throughput", XLabel: "offered", YLabel: "accepted"}
-		var latY, accY []float64
-		for _, res := range results {
-			latY = append(latY, res.AvgTotalLatency)
-			accY = append(accY, res.PayloadThroughput)
+		var xs, latY, accY []float64
+		for i, rec := range recs {
+			if rec.Err != "" {
+				continue
+			}
+			xs = append(xs, rates[i])
+			latY = append(latY, rec.Result.AvgTotalLatency())
+			accY = append(accY, rec.Result.PayloadThroughput())
 		}
-		_ = lat.Add(textplot.Series{Name: *mode + "/" + *pattern, X: rates, Y: latY})
-		_ = acc.Add(textplot.Series{Name: *mode + "/" + *pattern, X: rates, Y: accY})
+		_ = lat.Add(textplot.Series{Name: *mode + "/" + *pattern, X: xs, Y: latY})
+		_ = acc.Add(textplot.Series{Name: *mode + "/" + *pattern, X: xs, Y: accY})
 		fmt.Println()
 		fmt.Print(lat.Render())
 		fmt.Println()
 		fmt.Print(acc.Render())
 	}
-}
-
-func parseMode(s string) (hsnoc.Mode, error) {
-	switch strings.ToLower(s) {
-	case "packet", "ps", "packet-vc4":
-		return hsnoc.PacketSwitched, nil
-	case "tdm", "hybrid-tdm":
-		return hsnoc.HybridTDM, nil
-	case "sdm", "hybrid-sdm":
-		return hsnoc.HybridSDM, nil
+	if failed > 0 {
+		os.Exit(1)
 	}
-	return 0, fmt.Errorf("unknown mode %q (packet|tdm|sdm)", s)
-}
-
-func parsePattern(s string) (hsnoc.Pattern, error) {
-	switch strings.ToLower(s) {
-	case "ur", "uniform", "random":
-		return hsnoc.UniformRandom, nil
-	case "tor", "tornado":
-		return hsnoc.Tornado, nil
-	case "tr", "transpose":
-		return hsnoc.Transpose, nil
-	case "bc", "bitcomplement":
-		return hsnoc.BitComplement, nil
-	case "nbr", "neighbor":
-		return hsnoc.Neighbor, nil
-	case "hot", "hotspot":
-		return hsnoc.Hotspot, nil
-	}
-	return 0, fmt.Errorf("unknown pattern %q (ur|tornado|transpose|bc|neighbor|hotspot)", s)
 }

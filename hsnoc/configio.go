@@ -1,6 +1,8 @@
 package hsnoc
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,6 +28,25 @@ func LoadConfig(r io.Reader) (Config, error) {
 		return Config{}, err
 	}
 	return cfg, nil
+}
+
+// Hash returns a canonical fingerprint of the configuration: a SHA-256
+// over its stable field-order JSON encoding (Go marshals struct fields
+// in declaration order). Two configs hash equal exactly when every
+// field, including Seed, is equal — Workers is excluded because
+// executor parallelism never changes simulation results. The hash is
+// the cache key of the campaign engine, so adding or reordering Config
+// fields invalidates cached campaign results (by design: a hash must
+// never collide across semantically different configs).
+func (c Config) Hash() string {
+	c.Workers = 0
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config is a flat struct of scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("hsnoc: config hash: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // Validate checks a configuration for structural errors.

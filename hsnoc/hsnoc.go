@@ -21,6 +21,7 @@
 package hsnoc
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -312,12 +313,98 @@ func (s *Simulator) Warmup(cycles int) {
 // results.
 func (s *Simulator) Run(cycles int) Results {
 	if s.sdmNet != nil {
-		return s.runSDM(cycles)
+		s.sdmNet.EnableStats()
+		s.sdmNet.Run(cycles)
+		return s.collectSDM(int64(cycles))
 	}
 	s.net.EnableStats()
 	s.net.Run(cycles)
 	s.measured += int64(cycles)
 	return s.collect(int64(cycles))
+}
+
+// runChunk is the cycle-granularity at which context cancellation and
+// packet targets are checked: coarse enough that the check is free,
+// fine enough that a cancelled campaign job aborts within microseconds.
+const runChunk = 1024
+
+// RunContext measures like Run but advances in chunks, aborting early
+// (discarding the partial region) when ctx is cancelled. It is the
+// measurement entry point of the campaign engine, whose jobs carry
+// per-job timeouts.
+func (s *Simulator) RunContext(ctx context.Context, cycles int) (Results, error) {
+	step := func(n int) {
+		if s.sdmNet != nil {
+			s.sdmNet.Run(n)
+		} else {
+			s.net.Run(n)
+		}
+	}
+	if s.sdmNet != nil {
+		s.sdmNet.EnableStats()
+	} else {
+		s.net.EnableStats()
+	}
+	for done := 0; done < cycles; {
+		if err := ctx.Err(); err != nil {
+			return Results{}, err
+		}
+		n := min(runChunk, cycles-done)
+		step(n)
+		done += n
+	}
+	if s.sdmNet != nil {
+		return s.collectSDM(int64(cycles)), nil
+	}
+	s.measured += int64(cycles)
+	return s.collect(int64(cycles)), nil
+}
+
+// WarmupContext advances like Warmup but aborts when ctx is cancelled.
+func (s *Simulator) WarmupContext(ctx context.Context, cycles int) error {
+	for done := 0; done < cycles; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := min(runChunk, cycles-done)
+		s.Warmup(n)
+		done += n
+	}
+	return nil
+}
+
+// RunUntilPackets measures until target data packets have been ejected
+// or limit cycles elapse, whichever comes first, and returns results
+// over the cycles actually simulated. A zero-rate generator never
+// reaches a positive target; callers should validate that combination
+// up front (cmd/nocsim does).
+func (s *Simulator) RunUntilPackets(target int64, limit int) Results {
+	delivered := func() int64 {
+		if s.sdmNet != nil {
+			return s.sdmNet.Stats.EjectedPackets
+		}
+		return s.net.Stats().EjectedPackets
+	}
+	if s.sdmNet != nil {
+		s.sdmNet.EnableStats()
+	} else {
+		s.net.EnableStats()
+	}
+	run := 0
+	for run < limit && delivered() < target {
+		n := min(runChunk, limit-run)
+		if s.sdmNet != nil {
+			s.sdmNet.Run(n)
+		} else {
+			s.net.Run(n)
+		}
+		run += n
+	}
+	if s.sdmNet != nil {
+		return s.collectSDM(int64(run))
+	}
+	s.measured += int64(run)
+	return s.collect(int64(run))
 }
 
 func (s *Simulator) collect(cycles int64) Results {
@@ -341,16 +428,14 @@ func (s *Simulator) collect(cycles int64) Results {
 	return res
 }
 
-func (s *Simulator) runSDM(cycles int) Results {
-	s.sdmNet.EnableStats()
-	s.sdmNet.Run(cycles)
+func (s *Simulator) collectSDM(cycles int64) Results {
 	st := &s.sdmNet.Stats
 	nodes := s.sdmNet.Mesh().Nodes()
 	res := Results{
-		Cycles:              int64(cycles),
+		Cycles:              cycles,
 		Packets:             st.EjectedPackets,
-		Throughput:          st.Throughput(nodes, int64(cycles)),
-		PayloadThroughput:   st.PayloadThroughput(5, nodes, int64(cycles)),
+		Throughput:          st.Throughput(nodes, cycles),
+		PayloadThroughput:   st.PayloadThroughput(5, nodes, cycles),
 		CSFlitFraction:      st.CSFlitFraction(),
 		CircuitsEstablished: st.SetupsOK,
 		Energy:              energyFrom(s.sdmNet.Energy(power.Default45nm())),

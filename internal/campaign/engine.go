@@ -1,0 +1,200 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdmnoc/internal/stats"
+)
+
+// Runner executes one job. The default is Simulate; tests and the
+// experiment drivers may substitute their own.
+type Runner func(ctx context.Context, job Job) (stats.RunRecord, error)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent jobs (0 = NumCPU).
+	Workers int
+	// JobTimeout cancels an individual job after this long (0 = none).
+	JobTimeout time.Duration
+	// Runner executes jobs (nil = Simulate).
+	Runner Runner
+	// Store is the persistent result cache (nil = in-memory only; jobs
+	// still dedup against each other within one Run).
+	Store *Store
+}
+
+// Engine runs campaign jobs on a bounded worker pool. One Engine
+// serves one campaign execution; its counters feed the /metrics
+// endpoint of cmd/nocsimd.
+type Engine struct {
+	workers int
+	timeout time.Duration
+	runner  Runner
+	store   *Store
+
+	queued    atomic.Int64
+	running   atomic.Int64
+	done      atomic.Int64
+	failed    atomic.Int64
+	cacheHits atomic.Int64
+	cycles    atomic.Int64
+
+	draining atomic.Bool
+}
+
+// Status is a snapshot of the engine counters.
+type Status struct {
+	Queued          int64 `json:"jobs_queued"`
+	Running         int64 `json:"jobs_running"`
+	Done            int64 `json:"jobs_done"`
+	Failed          int64 `json:"jobs_failed"`
+	CacheHits       int64 `json:"cache_hits"`
+	CyclesSimulated int64 `json:"cycles_simulated"`
+}
+
+// New builds an engine.
+func New(o Options) *Engine {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.Runner == nil {
+		o.Runner = Simulate
+	}
+	return &Engine{workers: o.Workers, timeout: o.JobTimeout, runner: o.Runner, store: o.Store}
+}
+
+// Status snapshots the counters.
+func (e *Engine) Status() Status {
+	return Status{
+		Queued:          e.queued.Load(),
+		Running:         e.running.Load(),
+		Done:            e.done.Load(),
+		Failed:          e.failed.Load(),
+		CacheHits:       e.cacheHits.Load(),
+		CyclesSimulated: e.cycles.Load(),
+	}
+}
+
+// Drain stops the engine from starting new jobs; in-flight jobs run to
+// completion and persist. Used by graceful shutdown. Jobs skipped by a
+// drain are reported failed with a "skipped" Err and retried when the
+// campaign is re-submitted.
+func (e *Engine) Drain() { e.draining.Store(true) }
+
+// Sentinel error strings for records the engine did not execute.
+const (
+	errDrained   = "skipped: engine draining"
+	errCancelled = "skipped: campaign cancelled"
+)
+
+// Run executes jobs and returns one record per job, in job order.
+// Cached jobs (hits in the store, or duplicates of an earlier job in
+// the same list) are served without simulating. Cancelling ctx aborts
+// in-flight jobs and skips the rest; Drain lets in-flight jobs finish
+// but skips the rest. Run never returns an error — per-job failures
+// are carried in Record.Err so one pathological grid point cannot
+// sink a thousand-job campaign.
+func (e *Engine) Run(ctx context.Context, jobs []Job) []Record {
+	recs := make([]Record, len(jobs))
+	e.queued.Add(int64(len(jobs)))
+
+	// Dedup within the job list: only the first occurrence of a key
+	// simulates; duplicates copy its record afterwards.
+	first := map[string]int{}
+	dup := map[int]int{}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, e.workers)
+	for i, j := range jobs {
+		if fi, ok := first[j.Key]; ok {
+			dup[i] = fi
+			continue
+		}
+		first[j.Key] = i
+		if e.store != nil {
+			if r, ok := e.store.Lookup(j.Key); ok {
+				recs[i] = r
+				e.queued.Add(-1)
+				e.cacheHits.Add(1)
+				e.done.Add(1)
+				continue
+			}
+		}
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if ctx.Err() != nil || e.draining.Load() {
+				rec := newRecord(j)
+				rec.Err = errDrained
+				if ctx.Err() != nil {
+					rec.Err = errCancelled
+				}
+				recs[i] = rec
+				e.queued.Add(-1)
+				e.failed.Add(1)
+				return
+			}
+			e.queued.Add(-1)
+			e.running.Add(1)
+			defer e.running.Add(-1)
+			rec := e.runOne(ctx, j)
+			recs[i] = rec
+			if rec.Err != "" {
+				e.failed.Add(1)
+				return
+			}
+			e.done.Add(1)
+			e.cycles.Add(int64(j.Warmup + j.Measure))
+			if e.store != nil {
+				if err := e.store.Append(rec); err != nil {
+					// The result is still returned; only persistence
+					// (and thus resume) is degraded.
+					fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+				}
+			}
+		}(i, j)
+	}
+	wg.Wait()
+	for i, fi := range dup {
+		recs[i] = recs[fi]
+		recs[i].Cached = true
+		e.queued.Add(-1)
+		if recs[fi].Err == "" {
+			e.cacheHits.Add(1)
+			e.done.Add(1)
+		} else {
+			e.failed.Add(1)
+		}
+	}
+	return recs
+}
+
+// runOne executes a single job with timeout and panic containment.
+func (e *Engine) runOne(ctx context.Context, j Job) (rec Record) {
+	rec = newRecord(j)
+	defer func() {
+		if p := recover(); p != nil {
+			rec.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	jctx := ctx
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, e.timeout)
+		defer cancel()
+	}
+	res, err := e.runner(jctx, j)
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	rec.Result = res
+	return rec
+}

@@ -1,0 +1,117 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"tdmnoc/hsnoc"
+	"tdmnoc/internal/stats"
+)
+
+// Job is one simulation to run: a fully specified configuration plus
+// the traffic and measurement parameters. Jobs are independent and
+// deterministic, so equal keys mean interchangeable results.
+type Job struct {
+	// Key is the cache key: a canonical hash over the config hash and
+	// the run parameters. Two jobs with equal keys produce identical
+	// records.
+	Key string
+	// Label is a human-readable identifier carried into the record.
+	Label string
+	// Config is the complete network configuration (includes the seed).
+	Config hsnoc.Config
+	// Pattern and Rate describe the synthetic traffic.
+	Pattern     hsnoc.Pattern
+	PatternName string
+	Rate        float64
+	// Warmup and Measure are the region lengths in cycles.
+	Warmup, Measure int
+}
+
+// NewJob builds a job and computes its cache key. It is the bridge for
+// drivers (cmd/experiments, cmd/sweep) that construct configs
+// programmatically rather than through a Spec.
+func NewJob(cfg hsnoc.Config, pattern hsnoc.Pattern, rate float64, warmup, measure int, label string) Job {
+	payload := fmt.Sprintf("%s|%v|%.9g|%d|%d", cfg.Hash(), pattern, rate, warmup, measure)
+	sum := sha256.Sum256([]byte(payload))
+	return Job{
+		Key:         hex.EncodeToString(sum[:]),
+		Label:       label,
+		Config:      cfg,
+		Pattern:     pattern,
+		PatternName: pattern.String(),
+		Rate:        rate,
+		Warmup:      warmup,
+		Measure:     measure,
+	}
+}
+
+// Record is one job's persisted result — one JSONL line in the result
+// store. It carries enough of the job identity to be useful standalone
+// and a mergeable RunRecord with the metrics. Records hold no
+// timestamps: a record is a pure function of its job, which is what
+// makes serial and parallel campaign output byte-identical.
+type Record struct {
+	Key     string  `json:"key"`
+	Label   string  `json:"label,omitempty"`
+	Mode    string  `json:"mode"`
+	Pattern string  `json:"pattern"`
+	Width   int     `json:"width"`
+	Height  int     `json:"height"`
+	Slots   int     `json:"slots,omitempty"`
+	Rate    float64 `json:"rate"`
+	Seed    uint64  `json:"seed"`
+	Warmup  int     `json:"warmup"`
+	Measure int     `json:"measure"`
+
+	Result stats.RunRecord `json:"result"`
+	// Err is set when the job failed (timeout, cancellation, panic);
+	// failed records are returned to the caller but never persisted,
+	// so a resumed campaign retries them.
+	Err string `json:"error,omitempty"`
+
+	// Cached marks records served from the result store or deduped
+	// within the campaign. Runtime-only: excluded from persistence so
+	// stored bytes stay identical across fresh and resumed runs.
+	Cached bool `json:"-"`
+}
+
+// newRecord seeds a record with the job's identity.
+func newRecord(j Job) Record {
+	return Record{
+		Key:     j.Key,
+		Label:   j.Label,
+		Mode:    j.Config.Mode.String(),
+		Pattern: j.PatternName,
+		Width:   j.Config.Width,
+		Height:  j.Config.Height,
+		Slots:   j.Config.SlotTableEntries,
+		Rate:    j.Rate,
+		Seed:    j.Config.Seed,
+		Warmup:  j.Warmup,
+		Measure: j.Measure,
+	}
+}
+
+// Aggregate merges records sharing a group key (records with non-empty
+// Err are skipped). The classic use is averaging a sweep point across
+// seeds: group by everything except the seed.
+func Aggregate(recs []Record, key func(Record) string) map[string]stats.RunRecord {
+	out := map[string]stats.RunRecord{}
+	for _, r := range recs {
+		if r.Err != "" {
+			continue
+		}
+		k := key(r)
+		agg := out[k]
+		agg.Merge(r.Result)
+		out[k] = agg
+	}
+	return out
+}
+
+// GroupWithoutSeed is the Aggregate key that folds seeds together.
+func GroupWithoutSeed(r Record) string {
+	return fmt.Sprintf("%s/%s/%dx%d/s%d/r%.3f", r.Mode, r.Pattern, r.Width, r.Height, r.Slots, r.Rate)
+}

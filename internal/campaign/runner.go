@@ -1,0 +1,47 @@
+package campaign
+
+import (
+	"context"
+
+	"tdmnoc/hsnoc"
+	"tdmnoc/internal/stats"
+)
+
+// Simulate is the default Runner: it builds the simulator for the job,
+// warms it up, measures, and converts the results into a mergeable
+// record. The simulator (and its executor worker pool, if any) is
+// always released, including on cancellation and panic paths.
+func Simulate(ctx context.Context, j Job) (stats.RunRecord, error) {
+	s := hsnoc.NewSynthetic(j.Config, j.Pattern, j.Rate)
+	defer s.Close()
+	if err := s.WarmupContext(ctx, j.Warmup); err != nil {
+		return stats.RunRecord{}, err
+	}
+	res, err := s.RunContext(ctx, j.Measure)
+	if err != nil {
+		return stats.RunRecord{}, err
+	}
+	return FromResults(res), nil
+}
+
+// FromResults converts an hsnoc measurement into the sum-form mergeable
+// record (internal/stats cannot import hsnoc — the engine packages sit
+// above it — so the conversion lives here).
+func FromResults(r hsnoc.Results) stats.RunRecord {
+	return stats.RunRecord{
+		Runs:              1,
+		Cycles:            r.Cycles,
+		Packets:           r.Packets,
+		NetLatencySum:     r.AvgNetLatency * float64(r.Packets),
+		TotalLatencySum:   r.AvgTotalLatency * float64(r.Packets),
+		FlitCycles:        r.Throughput * float64(r.Cycles),
+		PayloadCycles:     r.PayloadThroughput * float64(r.Cycles),
+		CSFracPackets:     r.CSFlitFraction * float64(r.Packets),
+		ConfigFracPackets: r.ConfigTrafficFraction * float64(r.Packets),
+		Hitchhikes:        r.Hitchhikes,
+		VicinityRides:     r.VicinityRides,
+		Circuits:          r.CircuitsEstablished,
+		ActiveSlots:       r.ActiveSlotEntries,
+		EnergyPJ:          r.Energy.TotalPJ,
+	}
+}

@@ -1,0 +1,266 @@
+// Package campaign is the batch-simulation subsystem: it expands a
+// declarative campaign spec (a parameter grid of switching mode,
+// traffic pattern, mesh size, slot-table size, injection rate and
+// seed) into independent jobs, runs them on a bounded worker pool with
+// per-job timeout, cancellation and panic recovery, dedups work
+// through a result cache keyed by the canonical config hash, and
+// persists results incrementally as JSONL so an interrupted campaign
+// resumes without recomputing finished jobs.
+//
+// The paper's whole evaluation — and the profile-driven sweeps of the
+// related hybrid-switching literature — is exactly this workload: a
+// large grid of independent (config, seed) simulations. cmd/sweep,
+// cmd/experiments and the cmd/nocsimd HTTP service all execute through
+// this one engine.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"tdmnoc/hsnoc"
+)
+
+// MeshSize is one topology point of the grid.
+type MeshSize struct {
+	Width  int `json:"width"`
+	Height int `json:"height"`
+}
+
+// Spec is a declarative campaign: the cross product of its axes is the
+// job list. Zero-valued axes fall back to the Table-I defaults during
+// Normalize.
+type Spec struct {
+	// Name labels the campaign in listings and logs.
+	Name string `json:"name,omitempty"`
+	// Modes are switching architectures: packet|tdm|sdm.
+	Modes []string `json:"modes"`
+	// Patterns are synthetic traffic patterns:
+	// ur|tornado|transpose|bc|neighbor|hotspot.
+	Patterns []string `json:"patterns"`
+	// Meshes are topology sizes (default: one 6x6 mesh).
+	Meshes []MeshSize `json:"meshes,omitempty"`
+	// Rates are offered loads in flits/node/cycle.
+	Rates []float64 `json:"rates"`
+	// SlotTables are slot-table capacities, a TDM-only axis (default:
+	// the 128-entry Table-I capacity). Non-TDM modes collapse this
+	// axis to a single point since it cannot affect them.
+	SlotTables []int `json:"slot_tables,omitempty"`
+	// Seeds replicate every grid point (default: seed 1).
+	Seeds []uint64 `json:"seeds,omitempty"`
+
+	// Scalar options applied to every job.
+	PathSharing              bool `json:"path_sharing,omitempty"`
+	VCPowerGating            bool `json:"vc_power_gating,omitempty"`
+	LatencyBasedVCGating     bool `json:"latency_based_vc_gating,omitempty"`
+	DisableTimeSlotStealing  bool `json:"disable_time_slot_stealing,omitempty"`
+	DisableDynamicSlotSizing bool `json:"disable_dynamic_slot_sizing,omitempty"`
+	// WarmupCycles and MeasureCycles default to the paper's 8000/40000.
+	WarmupCycles  int `json:"warmup_cycles,omitempty"`
+	MeasureCycles int `json:"measure_cycles,omitempty"`
+	// SimWorkers sets per-simulation executor parallelism (default 1;
+	// results are identical for any value, so it is not a grid axis and
+	// does not enter cache keys).
+	SimWorkers int `json:"sim_workers,omitempty"`
+}
+
+// ParseSpec reads a JSON spec, rejecting unknown fields so typos fail
+// loudly, and normalizes it.
+func ParseSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("campaign: bad spec: %w", err)
+	}
+	if err := s.Normalize(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Normalize fills defaulted axes and validates the grid.
+func (s *Spec) Normalize() error {
+	if len(s.Modes) == 0 {
+		return fmt.Errorf("campaign: spec needs at least one mode")
+	}
+	if len(s.Patterns) == 0 {
+		return fmt.Errorf("campaign: spec needs at least one pattern")
+	}
+	if len(s.Rates) == 0 {
+		return fmt.Errorf("campaign: spec needs at least one rate")
+	}
+	for _, r := range s.Rates {
+		if r <= 0 || r > 1 {
+			return fmt.Errorf("campaign: rate %v outside (0, 1]", r)
+		}
+	}
+	if len(s.Meshes) == 0 {
+		s.Meshes = []MeshSize{{Width: 6, Height: 6}}
+	}
+	for _, m := range s.Meshes {
+		if m.Width <= 0 || m.Height <= 0 {
+			return fmt.Errorf("campaign: mesh %dx%d invalid", m.Width, m.Height)
+		}
+	}
+	if len(s.SlotTables) == 0 {
+		s.SlotTables = []int{128}
+	}
+	for _, st := range s.SlotTables {
+		if st <= 0 {
+			return fmt.Errorf("campaign: slot-table size %d invalid", st)
+		}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []uint64{1}
+	}
+	if s.WarmupCycles == 0 {
+		s.WarmupCycles = 8000
+	}
+	if s.MeasureCycles == 0 {
+		s.MeasureCycles = 40000
+	}
+	if s.WarmupCycles < 0 || s.MeasureCycles <= 0 {
+		return fmt.Errorf("campaign: warmup %d / measure %d cycles invalid", s.WarmupCycles, s.MeasureCycles)
+	}
+	for _, m := range s.Modes {
+		if _, err := ParseMode(m); err != nil {
+			return err
+		}
+	}
+	for _, p := range s.Patterns {
+		if _, err := ParsePattern(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Hash is the canonical fingerprint of a normalized spec, used to name
+// its result store so re-submitting the same spec resumes from the
+// same JSONL file.
+func (s Spec) Hash() string {
+	c := s
+	if err := c.Normalize(); err != nil {
+		// An invalid spec still hashes (over its raw encoding) so
+		// callers can log it; it will never reach the engine.
+		c = s
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		panic(fmt.Sprintf("campaign: spec hash: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Jobs returns the expanded job count without building the jobs
+// (0 for an invalid spec).
+func (s Spec) Jobs() int {
+	if err := s.Normalize(); err != nil {
+		return 0
+	}
+	n := 0
+	for _, m := range s.Modes {
+		slots := len(s.SlotTables)
+		if mode, err := ParseMode(m); err != nil || mode != hsnoc.HybridTDM {
+			slots = 1
+		}
+		n += len(s.Patterns) * len(s.Meshes) * slots * len(s.Rates) * len(s.Seeds)
+	}
+	return n
+}
+
+// Expand builds the deterministic job list: modes, then patterns,
+// meshes, slot tables, rates, seeds — the same nesting every time, so
+// serial and parallel campaigns emit records for identical job
+// sequences.
+func (s Spec) Expand() ([]Job, error) {
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	var jobs []Job
+	for _, modeName := range s.Modes {
+		mode, err := ParseMode(modeName)
+		if err != nil {
+			return nil, err
+		}
+		slots := s.SlotTables
+		if mode != hsnoc.HybridTDM {
+			// Slot tables only exist in TDM routers; collapsing the
+			// axis avoids simulating identical configs under distinct
+			// cache keys.
+			slots = slots[:1]
+		}
+		for _, patName := range s.Patterns {
+			pat, err := ParsePattern(patName)
+			if err != nil {
+				return nil, err
+			}
+			for _, mesh := range s.Meshes {
+				for _, slot := range slots {
+					for _, rate := range s.Rates {
+						for _, seed := range s.Seeds {
+							cfg := hsnoc.DefaultConfig(mesh.Width, mesh.Height)
+							cfg.Mode = mode
+							cfg.Seed = seed
+							cfg.PathSharing = s.PathSharing && mode == hsnoc.HybridTDM
+							cfg.VCPowerGating = s.VCPowerGating
+							cfg.LatencyBasedVCGating = s.LatencyBasedVCGating
+							cfg.DisableTimeSlotStealing = s.DisableTimeSlotStealing
+							cfg.DisableDynamicSlotSizing = s.DisableDynamicSlotSizing
+							if mode == hsnoc.HybridTDM {
+								cfg.SlotTableEntries = slot
+							}
+							if s.SimWorkers > 0 {
+								cfg.Workers = s.SimWorkers
+							}
+							if err := cfg.Validate(); err != nil {
+								return nil, err
+							}
+							label := fmt.Sprintf("%v/%v/%dx%d/r%.3f/seed%d", mode, pat, mesh.Width, mesh.Height, rate, seed)
+							jobs = append(jobs, NewJob(cfg, pat, rate, s.WarmupCycles, s.MeasureCycles, label))
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// ParseMode maps the CLI/spec mode names onto hsnoc modes.
+func ParseMode(s string) (hsnoc.Mode, error) {
+	switch strings.ToLower(s) {
+	case "packet", "ps", "packet-vc4":
+		return hsnoc.PacketSwitched, nil
+	case "tdm", "hybrid-tdm":
+		return hsnoc.HybridTDM, nil
+	case "sdm", "hybrid-sdm":
+		return hsnoc.HybridSDM, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown mode %q (packet|tdm|sdm)", s)
+}
+
+// ParsePattern maps the CLI/spec pattern names onto traffic patterns.
+func ParsePattern(s string) (hsnoc.Pattern, error) {
+	switch strings.ToLower(s) {
+	case "ur", "uniform", "random":
+		return hsnoc.UniformRandom, nil
+	case "tor", "tornado":
+		return hsnoc.Tornado, nil
+	case "tr", "transpose":
+		return hsnoc.Transpose, nil
+	case "bc", "bitcomplement":
+		return hsnoc.BitComplement, nil
+	case "nbr", "neighbor":
+		return hsnoc.Neighbor, nil
+	case "hot", "hotspot":
+		return hsnoc.Hotspot, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown pattern %q (ur|tornado|transpose|bc|neighbor|hotspot)", s)
+}

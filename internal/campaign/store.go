@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store persists campaign records as append-only JSONL and serves as
+// the result cache: opening a store reloads every record previously
+// written to the file, so an interrupted campaign resumes without
+// recomputing finished jobs. Appends go straight to the file
+// descriptor (no userspace buffering), so records survive a killed
+// process up to the last completed line; a torn final line from a
+// crash is skipped on reload and simply re-run.
+type Store struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	cache map[string]Record
+}
+
+// OpenStore opens (creating if needed) the JSONL store at path and
+// loads its existing records.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open store: %w", err)
+	}
+	s := &Store{f: f, path: path, cache: map[string]Record{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			// A torn trailing line from an interrupted run; the job it
+			// belonged to will be recomputed.
+			continue
+		}
+		if r.Key != "" && r.Err == "" {
+			s.cache[r.Key] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: read store %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// Len is the number of cached records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// Lookup returns the cached record for key, marked Cached.
+func (s *Store) Lookup(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.cache[key]
+	if ok {
+		r.Cached = true
+	}
+	return r, ok
+}
+
+// Append persists one record (and caches it). Records with Err set are
+// rejected: failures must be retried, not replayed.
+func (s *Store) Append(r Record) error {
+	if r.Err != "" {
+		return fmt.Errorf("campaign: refusing to persist failed record %s", r.Key)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("campaign: encode record: %w", err)
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("campaign: store %s is closed", s.path)
+	}
+	if _, err := s.f.Write(b); err != nil {
+		return fmt.Errorf("campaign: append record: %w", err)
+	}
+	s.cache[r.Key] = r
+	return nil
+}
+
+// Records returns a copy of every cached record (order unspecified).
+func (s *Store) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.cache))
+	for _, r := range s.cache {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Close releases the backing file. Lookups keep working from memory.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

@@ -1,0 +1,124 @@
+package stats
+
+// RunRecord is a mergeable summary of one or more measured simulation
+// regions. Every field is a sum — latencies packet-weighted, fractions
+// packet-weighted, throughputs cycle-weighted — so two records combine
+// by plain addition and the accessors re-derive the familiar averages.
+// This is what the campaign engine persists per job and what aggregate
+// views (e.g. averaging a sweep point across seeds) merge.
+//
+// RunRecord deliberately holds no timestamps or wall-clock durations:
+// a record is a pure function of (config, pattern, rate, seed, cycles),
+// which is what makes campaign JSONL output byte-identical across
+// serial and parallel executions.
+type RunRecord struct {
+	// Runs is the number of merged measured regions.
+	Runs int64 `json:"runs"`
+	// Cycles is the total measured cycles across runs.
+	Cycles int64 `json:"cycles"`
+	// Packets is the total data packets delivered.
+	Packets int64 `json:"packets"`
+	// NetLatencySum / TotalLatencySum are packet-weighted latency sums
+	// in cycles (avg x packets per region).
+	NetLatencySum   float64 `json:"net_latency_sum"`
+	TotalLatencySum float64 `json:"total_latency_sum"`
+	// FlitCycles / PayloadCycles are cycle-weighted throughput sums
+	// (flits/node/cycle x cycles per region).
+	FlitCycles    float64 `json:"flit_cycles"`
+	PayloadCycles float64 `json:"payload_cycles"`
+	// CSFracPackets / ConfigFracPackets are packet-weighted fraction
+	// sums (fraction x packets per region).
+	CSFracPackets     float64 `json:"cs_frac_packets"`
+	ConfigFracPackets float64 `json:"config_frac_packets"`
+	// Path-sharing and circuit counters.
+	Hitchhikes    int64 `json:"hitchhikes,omitempty"`
+	VicinityRides int64 `json:"vicinity_rides,omitempty"`
+	Circuits      int64 `json:"circuits,omitempty"`
+	// ActiveSlots is the largest in-use slot-table region seen across
+	// the merged runs (a high-water mark, not a sum).
+	ActiveSlots int `json:"active_slots,omitempty"`
+	// EnergyPJ is total network energy in picojoules.
+	EnergyPJ float64 `json:"energy_pj"`
+}
+
+// Merge adds o into r. ActiveSlots takes the maximum; everything else
+// sums.
+func (r *RunRecord) Merge(o RunRecord) {
+	r.Runs += o.Runs
+	r.Cycles += o.Cycles
+	r.Packets += o.Packets
+	r.NetLatencySum += o.NetLatencySum
+	r.TotalLatencySum += o.TotalLatencySum
+	r.FlitCycles += o.FlitCycles
+	r.PayloadCycles += o.PayloadCycles
+	r.CSFracPackets += o.CSFracPackets
+	r.ConfigFracPackets += o.ConfigFracPackets
+	r.Hitchhikes += o.Hitchhikes
+	r.VicinityRides += o.VicinityRides
+	r.Circuits += o.Circuits
+	if o.ActiveSlots > r.ActiveSlots {
+		r.ActiveSlots = o.ActiveSlots
+	}
+	r.EnergyPJ += o.EnergyPJ
+}
+
+// AvgNetLatency is the packet-weighted mean injection-to-ejection
+// latency in cycles.
+func (r RunRecord) AvgNetLatency() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return r.NetLatencySum / float64(r.Packets)
+}
+
+// AvgTotalLatency is the packet-weighted mean creation-to-ejection
+// latency (includes source queueing).
+func (r RunRecord) AvgTotalLatency() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return r.TotalLatencySum / float64(r.Packets)
+}
+
+// Throughput is accepted flits/node/cycle averaged over the merged
+// regions.
+func (r RunRecord) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.FlitCycles / float64(r.Cycles)
+}
+
+// PayloadThroughput is accepted payload-normalised flits/node/cycle.
+func (r RunRecord) PayloadThroughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.PayloadCycles / float64(r.Cycles)
+}
+
+// CSFlitFraction is the packet-weighted circuit-switched flit share.
+func (r RunRecord) CSFlitFraction() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return r.CSFracPackets / float64(r.Packets)
+}
+
+// ConfigTrafficFraction is the packet-weighted configuration-traffic
+// overhead.
+func (r RunRecord) ConfigTrafficFraction() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return r.ConfigFracPackets / float64(r.Packets)
+}
+
+// EnergySavingVs is the fractional energy saving of r relative to a
+// baseline record of comparable length (positive = r uses less energy).
+func (r RunRecord) EnergySavingVs(base RunRecord) float64 {
+	if base.EnergyPJ == 0 {
+		return 0
+	}
+	return 1 - r.EnergyPJ/base.EnergyPJ
+}
