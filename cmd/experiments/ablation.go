@@ -47,8 +47,8 @@ func ablation(rc runConfig) {
 	base := pts[0].res
 	fmt.Printf("%-24s %10s %10s %8s %12s\n", "variant", "totlat", "energy-sv", "cs%", "rides(h/v)")
 	for _, p := range pts[1:] {
-		fmt.Printf("%-24s %10.1f %9.1f%% %7.1f%% %6d/%d\n",
-			p.label, p.res.AvgTotalLatency(), 100*p.res.EnergySavingVs(base),
+		fmt.Printf("%-24s %10.1f %10s %7.1f%% %6d/%d\n",
+			p.label, p.res.AvgTotalLatency(), savingPct(p.res, base),
 			100*p.res.CSFlitFraction(), p.res.Hitchhikes, p.res.VicinityRides)
 	}
 	fmt.Println()
@@ -80,8 +80,8 @@ func granularity(rc runConfig) {
 		fmt.Printf("\n-- pattern %v at 0.15 flits/node/cycle --\n", pat)
 		fmt.Printf("%-16s %10s %10s %8s %10s\n", "config", "totlat", "energy-sv", "cs%", "circuits")
 		for _, p := range pts[1:] {
-			fmt.Printf("%-16s %10.1f %9.1f%% %7.1f%% %10d\n",
-				p.label, p.res.AvgTotalLatency(), 100*p.res.EnergySavingVs(base),
+			fmt.Printf("%-16s %10.1f %10s %7.1f%% %10d\n",
+				p.label, p.res.AvgTotalLatency(), savingPct(p.res, base),
 				100*p.res.CSFlitFraction(), p.res.Circuits)
 		}
 	}

@@ -51,6 +51,18 @@ func runSynthetic(jobs []synthJob, workers int) []synthPoint {
 	return out
 }
 
+// savingPct formats an energy-saving percentage for the result tables,
+// returning "n/a" when the figure is undefined (either run measured
+// zero cycles — e.g. a failed job's empty record — or the baseline
+// reported zero energy).
+func savingPct(r, base stats.RunRecord) string {
+	s, ok := r.EnergySavingVs(base)
+	if !ok {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*s)
+}
+
 // configs for the Fig. 4 comparison.
 func packetCfg(w, h int, seed uint64) hsnoc.Config {
 	c := hsnoc.DefaultConfig(w, h)
@@ -151,8 +163,8 @@ func fig5(rc runConfig) {
 		fmt.Printf("%8s %18s %18s\n", "offered", "TDM-VC4 saving", "TDM-VCt saving")
 		for i := 0; i < len(pts); i += 3 {
 			base, tdm, vct := pts[i].res, pts[i+1].res, pts[i+2].res
-			fmt.Printf("%8.2f %17.1f%% %17.1f%%\n",
-				pts[i].rate, 100*tdm.EnergySavingVs(base), 100*vct.EnergySavingVs(base))
+			fmt.Printf("%8.2f %18s %18s\n",
+				pts[i].rate, savingPct(tdm, base), savingPct(vct, base))
 		}
 	}
 	fmt.Println()
@@ -227,9 +239,9 @@ func fig6(rc runConfig) {
 				}(), pattern: pat, rate: eRate, warm: warm, measure: measure},
 			}
 			ep := runSynthetic(eJobs, rc.workers)
-			fmt.Printf("%2dx%-2d %-3v: max throughput %.3f -> %.3f (%+.1f%%), energy saving at 75%% load: %.1f%%\n",
+			fmt.Printf("%2dx%-2d %-3v: max throughput %.3f -> %.3f (%+.1f%%), energy saving at 75%% load: %s\n",
 				dim, dim, pat, maxBase, maxVct, 100*(maxVct-maxBase)/maxBase,
-				100*ep[1].res.EnergySavingVs(ep[0].res))
+				savingPct(ep[1].res, ep[0].res))
 		}
 	}
 	fmt.Println()

@@ -71,6 +71,8 @@ func main() {
 	noSteal := flag.Bool("nostealing", false, "disable time-slot stealing (tdm)")
 	staticSlots := flag.Bool("staticslots", false, "disable dynamic slot-table sizing (tdm)")
 	workers := flag.Int("workers", 1, "executor parallelism")
+	check := flag.Bool("check", false, "run the per-cycle invariant checker (conservation, credits, slot tables; ~2-4x slower, never changes results)")
+	checkEvery := flag.Int("checkevery", 1, "with -check, run the checks every N cycles")
 	hetero := flag.Bool("hetero", false, "run the heterogeneous system instead of synthetic traffic")
 	cpuB := flag.String("cpu", "EQUAKE", "CPU benchmark (hetero)")
 	gpuB := flag.String("gpu", "BLACKSCHOLES", "GPU benchmark (hetero)")
@@ -109,6 +111,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+	}
+	// Checking is a run-time observation knob, so -check applies even
+	// when -config replaced the structural flags.
+	if *check {
+		cfg.CheckInvariants = true
+		cfg.CheckInterval = *checkEvery
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -164,6 +172,16 @@ func main() {
 	}
 	fmt.Printf("  energy                  %.2f uJ (dynamic %.2f, static %.2f)\n",
 		res.Energy.TotalPJ/1e6, sum(res.Energy.DynamicPJ)/1e6, sum(res.Energy.StaticPJ)/1e6)
+	if *check {
+		if n := s.InvariantViolationCount(); n > 0 {
+			fmt.Fprintf(os.Stderr, "nocsim: %d invariant violation(s):\n", n)
+			for _, v := range s.InvariantViolations() {
+				fmt.Fprintf(os.Stderr, "  %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("  invariants              clean, rolling digest %016x\n", s.RollingDigest())
+	}
 	if *heatmap {
 		if grid := s.UtilizationGrid(); grid != nil {
 			fmt.Println()
@@ -196,6 +214,13 @@ func runHetero(cfg hsnoc.Config, cpuB, gpuB string, warmup, cycles int) {
 		fmt.Printf("  path sharing            %d hitchhikes, %d vicinity rides\n", res.Hitchhikes, res.VicinityRides)
 	}
 	fmt.Printf("  energy                  %.2f uJ\n", res.Energy.TotalPJ/1e6)
+	if n := h.InvariantViolationCount(); n > 0 {
+		fmt.Fprintf(os.Stderr, "nocsim: %d invariant violation(s):\n", n)
+		for _, v := range h.InvariantViolations() {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+		os.Exit(1)
+	}
 	d := h.Diagnose()
 	if d.MisroutedCS != 0 || d.DroppedCS != 0 || d.LatchConflicts != 0 {
 		fmt.Printf("  WARNING: invariant violations: %+v\n", d)

@@ -297,6 +297,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		total.Failed += st.Failed
 		total.CacheHits += st.CacheHits
 		total.CyclesSimulated += st.CyclesSimulated
+		total.Violations += st.Violations
 		c.mu.Lock()
 		if c.State == "running" {
 			running++
@@ -312,6 +313,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP nocsimd_jobs_failed Jobs failed, timed out, or skipped.\n# TYPE nocsimd_jobs_failed counter\nnocsimd_jobs_failed %d\n", total.Failed)
 	fmt.Fprintf(w, "# HELP nocsimd_cache_hits Jobs served from the result cache.\n# TYPE nocsimd_cache_hits counter\nnocsimd_cache_hits %d\n", total.CacheHits)
 	fmt.Fprintf(w, "# HELP nocsimd_cycles_simulated Total simulated cycles (warmup + measured).\n# TYPE nocsimd_cycles_simulated counter\nnocsimd_cycles_simulated %d\n", total.CyclesSimulated)
+	fmt.Fprintf(w, "# HELP nocsimd_invariant_violations Runtime invariant violations detected in checked jobs.\n# TYPE nocsimd_invariant_violations counter\nnocsimd_invariant_violations %d\n", total.Violations)
 	fmt.Fprintf(w, "# HELP nocsimd_campaigns_total Campaigns submitted since start.\n# TYPE nocsimd_campaigns_total counter\nnocsimd_campaigns_total %d\n", campaigns)
 	fmt.Fprintf(w, "# HELP nocsimd_campaigns_running Campaigns still executing.\n# TYPE nocsimd_campaigns_running gauge\nnocsimd_campaigns_running %d\n", running)
 }

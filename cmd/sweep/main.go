@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	sharing := flag.Bool("sharing", false, "path sharing (tdm)")
 	vcgating := flag.Bool("vcgating", false, "VC power gating")
+	check := flag.Bool("check", false, "run the per-cycle invariant checker on every job (slower, never changes results)")
 	results := flag.String("results", "", "persist records to this JSONL file (enables resume and caching)")
 	plot := flag.Bool("plot", false, "render ASCII load-latency and energy charts after the CSV")
 	flag.Parse()
@@ -46,16 +47,17 @@ func main() {
 	}
 
 	spec := campaign.Spec{
-		Name:          "sweep",
-		Modes:         []string{*mode},
-		Patterns:      []string{*pattern},
-		Meshes:        []campaign.MeshSize{{Width: *width, Height: *height}},
-		Rates:         rates,
-		Seeds:         []uint64{*seed},
-		PathSharing:   *sharing,
-		VCPowerGating: *vcgating,
-		WarmupCycles:  *warmup,
-		MeasureCycles: *cycles,
+		Name:            "sweep",
+		Modes:           []string{*mode},
+		Patterns:        []string{*pattern},
+		Meshes:          []campaign.MeshSize{{Width: *width, Height: *height}},
+		Rates:           rates,
+		Seeds:           []uint64{*seed},
+		PathSharing:     *sharing,
+		VCPowerGating:   *vcgating,
+		WarmupCycles:    *warmup,
+		MeasureCycles:   *cycles,
+		CheckInvariants: *check,
 	}
 	jobs, err := spec.Expand()
 	if err != nil {

@@ -34,12 +34,16 @@ func LoadConfig(r io.Reader) (Config, error) {
 // over its stable field-order JSON encoding (Go marshals struct fields
 // in declaration order). Two configs hash equal exactly when every
 // field, including Seed, is equal — Workers is excluded because
-// executor parallelism never changes simulation results. The hash is
+// executor parallelism never changes simulation results, and the
+// invariant-checking knobs (CheckInvariants, CheckInterval) are
+// excluded because checking only observes a run. The hash is
 // the cache key of the campaign engine, so adding or reordering Config
 // fields invalidates cached campaign results (by design: a hash must
 // never collide across semantically different configs).
 func (c Config) Hash() string {
 	c.Workers = 0
+	c.CheckInvariants = false
+	c.CheckInterval = 0
 	b, err := json.Marshal(c)
 	if err != nil {
 		// Config is a flat struct of scalars; Marshal cannot fail.
@@ -59,6 +63,9 @@ func (c Config) Validate() error {
 	}
 	if c.VCs < 0 || c.BufferDepth < 0 || c.SlotTableEntries < 0 || c.Planes < 0 || c.SAIterations < 0 {
 		return fmt.Errorf("hsnoc: negative structural parameter")
+	}
+	if c.CheckInterval < 0 {
+		return fmt.Errorf("hsnoc: negative check interval %d", c.CheckInterval)
 	}
 	if c.Mode == HybridSDM && (c.PathSharing || c.VCPowerGating || c.LatencyBasedVCGating) {
 		return fmt.Errorf("hsnoc: TDM options set on an SDM configuration")

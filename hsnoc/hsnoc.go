@@ -113,6 +113,17 @@ type Config struct {
 	// Workers sets executor parallelism (results are identical for any
 	// value; >1 only pays off on large meshes).
 	Workers int
+	// CheckInvariants enables the runtime invariant layer: per-cycle (or
+	// per-CheckInterval) verification of flit conservation, credit
+	// consistency and slot-table ownership, plus a rolling FNV-1a state
+	// digest for serial-vs-parallel equivalence checking. Expect roughly
+	// 2-4x slowdown when checking every cycle; it never changes
+	// simulation results. Not available for HybridSDM.
+	CheckInvariants bool
+	// CheckInterval is the checking cadence in cycles (<= 1 = every
+	// cycle). Larger intervals cut the overhead proportionally but
+	// detect a divergence or violation only at the next checked cycle.
+	CheckInterval int
 }
 
 // DefaultConfig returns the Table-I baseline configuration for a
@@ -156,6 +167,8 @@ func (c Config) networkConfig() network.Config {
 	if c.LatencyBasedVCGating {
 		nc = nc.WithLatencyVCGating()
 	}
+	nc.CheckInvariants = c.CheckInvariants
+	nc.CheckInterval = c.CheckInterval
 	return nc
 }
 
@@ -225,12 +238,18 @@ func energyFrom(b power.Breakdown) Energy {
 }
 
 // EnergySavingVs returns the fractional energy saving of r relative to a
-// baseline run of the same length (positive = r uses less energy).
+// baseline run (positive = r uses less energy). Both sides are
+// normalised to energy per measured cycle, so records of different
+// lengths (e.g. a run that stopped at a packet target vs a full-length
+// baseline) compare meaningfully. Returns 0 when either record has no
+// measured cycles or the baseline recorded no energy.
 func (r Results) EnergySavingVs(baseline Results) float64 {
-	if baseline.Energy.TotalPJ == 0 {
+	if r.Cycles == 0 || baseline.Cycles == 0 || baseline.Energy.TotalPJ == 0 {
 		return 0
 	}
-	return 1 - r.Energy.TotalPJ/baseline.Energy.TotalPJ
+	perCycle := r.Energy.TotalPJ / float64(r.Cycles)
+	basePerCycle := baseline.Energy.TotalPJ / float64(baseline.Cycles)
+	return 1 - perCycle/basePerCycle
 }
 
 // Simulator drives synthetic traffic over one network instance.

@@ -1,0 +1,121 @@
+package hsnoc
+
+import (
+	"fmt"
+	"strings"
+
+	"tdmnoc/internal/invariant"
+	"tdmnoc/internal/network"
+)
+
+// Violation is one runtime invariant violation detected with
+// Config.CheckInvariants enabled: the cycle it was detected at, the
+// router it concerns (-1 for network-wide invariants such as flit
+// conservation), the invariant kind ("conservation", "credit",
+// "slot-table") and a human-readable detail with enough context to
+// reproduce the failure.
+type Violation struct {
+	Cycle  int64  `json:"cycle"`
+	Router int    `json:"router"`
+	Kind   string `json:"kind"`
+	Detail string `json:"detail"`
+}
+
+// String formats the violation for logs.
+func (v Violation) String() string {
+	return invariant.Violation(v).String()
+}
+
+// ViolationError reports that a checked run detected invariant
+// violations. Count is the total detected; Violations holds the first
+// stored ones (the storage is capped — a single broken invariant
+// re-fires every checked cycle).
+type ViolationError struct {
+	Count      int64
+	Violations []Violation
+}
+
+// Error summarises the violations, leading with the first (the one
+// closest to the root cause).
+func (e *ViolationError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hsnoc: %d invariant violation(s)", e.Count)
+	if len(e.Violations) > 0 {
+		fmt.Fprintf(&b, "; first: %s", e.Violations[0])
+	}
+	return b.String()
+}
+
+// violationsFrom converts the network checker's findings.
+func violationsFrom(net *network.Network) []Violation {
+	vs := net.InvariantViolations()
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]Violation, len(vs))
+	for i, v := range vs {
+		out[i] = Violation(v)
+	}
+	return out
+}
+
+// StateDigest hashes the simulator's complete mutable state (router
+// pipelines, NI queues, slot tables, clock) into one 64-bit FNV-1a
+// value. Two runs of the same seeded config must produce equal digests
+// at equal cycles regardless of Workers; the first differing cycle
+// pinpoints a determinism bug. Returns 0 for HybridSDM (no digest
+// support).
+func (s *Simulator) StateDigest() uint64 {
+	if s.net == nil {
+		return 0
+	}
+	return s.net.StateDigest()
+}
+
+// RollingDigest returns the FNV-1a digest folded over every checked
+// cycle (0 unless Config.CheckInvariants is set).
+func (s *Simulator) RollingDigest() uint64 {
+	if s.net == nil {
+		return 0
+	}
+	return s.net.RollingDigest()
+}
+
+// InvariantViolations returns the violations detected so far (nil when
+// checking is disabled or the run is clean).
+func (s *Simulator) InvariantViolations() []Violation {
+	if s.net == nil {
+		return nil
+	}
+	return violationsFrom(s.net)
+}
+
+// InvariantViolationCount returns the total violations detected,
+// including ones beyond the storage cap.
+func (s *Simulator) InvariantViolationCount() int64 {
+	if s.net == nil {
+		return 0
+	}
+	return s.net.InvariantCount()
+}
+
+// InvariantError returns a *ViolationError when the run detected
+// violations, nil otherwise.
+func (s *Simulator) InvariantError() error {
+	if s.net == nil || s.net.InvariantCount() == 0 {
+		return nil
+	}
+	return &ViolationError{Count: s.net.InvariantCount(), Violations: violationsFrom(s.net)}
+}
+
+// InvariantViolations returns the violations detected in the
+// heterogeneous system's network (nil when checking is disabled or the
+// run is clean).
+func (h *HeteroSimulator) InvariantViolations() []Violation {
+	return violationsFrom(h.sys.Net)
+}
+
+// InvariantViolationCount returns the total violations detected.
+func (h *HeteroSimulator) InvariantViolationCount() int64 {
+	return h.sys.Net.InvariantCount()
+}

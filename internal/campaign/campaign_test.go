@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"tdmnoc/hsnoc"
+	"tdmnoc/internal/sim"
 	"tdmnoc/internal/stats"
 )
 
@@ -80,12 +81,12 @@ func TestSpecSlotAxisCollapsesForNonTDM(t *testing.T) {
 
 func TestSpecNormalizeRejects(t *testing.T) {
 	bad := []Spec{
-		{Patterns: []string{"ur"}, Rates: []float64{0.1}},                             // no modes
-		{Modes: []string{"tdm"}, Rates: []float64{0.1}},                               // no patterns
-		{Modes: []string{"tdm"}, Patterns: []string{"ur"}},                            // no rates
-		{Modes: []string{"tdm"}, Patterns: []string{"ur"}, Rates: []float64{0}},       // zero rate
-		{Modes: []string{"warp"}, Patterns: []string{"ur"}, Rates: []float64{0.1}},    // bad mode
-		{Modes: []string{"tdm"}, Patterns: []string{"zigzag"}, Rates: []float64{.1}},  // bad pattern
+		{Patterns: []string{"ur"}, Rates: []float64{0.1}},                            // no modes
+		{Modes: []string{"tdm"}, Rates: []float64{0.1}},                              // no patterns
+		{Modes: []string{"tdm"}, Patterns: []string{"ur"}},                           // no rates
+		{Modes: []string{"tdm"}, Patterns: []string{"ur"}, Rates: []float64{0}},      // zero rate
+		{Modes: []string{"warp"}, Patterns: []string{"ur"}, Rates: []float64{0.1}},   // bad mode
+		{Modes: []string{"tdm"}, Patterns: []string{"zigzag"}, Rates: []float64{.1}}, // bad pattern
 		{Modes: []string{"tdm"}, Patterns: []string{"ur"}, Rates: []float64{0.1}, Meshes: []MeshSize{{0, 6}}},
 		{Modes: []string{"tdm"}, Patterns: []string{"ur"}, Rates: []float64{0.1}, SlotTables: []int{-1}},
 	}
@@ -355,6 +356,153 @@ func TestStoreSkipsTornLine(t *testing.T) {
 	}
 	if _, ok := store.Lookup("k1"); !ok {
 		t.Error("intact record lost")
+	}
+}
+
+// TestStoreLoadsOversizedRecord guards the ReadBytes-based reload: a
+// record far larger than bufio.Scanner's old 4 MiB line cap must
+// survive a close/reopen cycle instead of failing the whole store.
+func TestStoreLoadsOversizedRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.jsonl")
+	store, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	big := Record{
+		Key:   "huge",
+		Label: strings.Repeat("x", 5<<20), // > 4 MiB on one JSONL line
+		Result: stats.RunRecord{
+			Runs: 1, Cycles: 10, Packets: 1, EnergyPJ: 1,
+		},
+	}
+	if err := store.Append(big); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := store.Append(Record{Key: "after", Result: stats.RunRecord{Runs: 1}}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	store.Close()
+
+	re, err := OpenStore(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	got, ok := re.Lookup("huge")
+	if !ok || len(got.Label) != 5<<20 {
+		t.Fatalf("oversized record not reloaded (found=%v, label %d bytes)", ok, len(got.Label))
+	}
+	if _, ok := re.Lookup("after"); !ok {
+		t.Error("record after the oversized one lost")
+	}
+}
+
+// TestStoreRejectsMidFileCorruption: an unparseable line that is NOT
+// the torn tail of the file is real corruption and must fail the open
+// loudly instead of silently dropping records.
+func TestStoreRejectsMidFileCorruption(t *testing.T) {
+	good := `{"key":"k1","result":{"runs":1,"cycles":2,"packets":3,"net_latency_sum":0,"total_latency_sum":0,"flit_cycles":0,"payload_cycles":0,"cs_frac_packets":0,"config_frac_packets":0,"energy_pj":1}}`
+	for name, content := range map[string]string{
+		"corrupt middle":        good + "\n" + `{"key":"k2","resu` + "\n" + good,
+		"corrupt last complete": good + "\n" + `{"key":"k2","resu` + "\n",
+	} {
+		path := filepath.Join(t.TempDir(), "corrupt.jsonl")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		store, err := OpenStore(path)
+		if err == nil {
+			store.Close()
+			t.Errorf("%s: OpenStore accepted a corrupt store", name)
+		}
+	}
+}
+
+// TestCheckedCampaignRunsClean runs a real (small) simulation job with
+// the invariant layer on: it must complete without violations and the
+// engine counter must stay zero.
+func TestCheckedCampaignRunsClean(t *testing.T) {
+	s := Spec{
+		Modes: []string{"tdm"}, Patterns: []string{"tornado"},
+		Meshes: []MeshSize{{4, 4}}, Rates: []float64{0.1}, Seeds: []uint64{1},
+		WarmupCycles: 200, MeasureCycles: 400,
+		CheckInvariants: true,
+	}
+	jobs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !jobs[0].Config.CheckInvariants {
+		t.Fatal("spec did not propagate CheckInvariants to the job config")
+	}
+	eng := New(Options{Workers: 1})
+	recs := eng.Run(context.Background(), jobs)
+	if recs[0].Err != "" {
+		t.Fatalf("checked job failed: %s", recs[0].Err)
+	}
+	if st := eng.Status(); st.Violations != 0 {
+		t.Fatalf("clean run counted %d violations", st.Violations)
+	}
+}
+
+// TestEngineCountsViolations: a job failing with *hsnoc.ViolationError
+// must feed the engine's violation counter (and /metrics).
+func TestEngineCountsViolations(t *testing.T) {
+	bad := func(ctx context.Context, j Job) (stats.RunRecord, error) {
+		return stats.RunRecord{}, &hsnoc.ViolationError{Count: 5, Violations: []hsnoc.Violation{
+			{Cycle: 3, Router: 1, Kind: "credit", Detail: "seeded"},
+		}}
+	}
+	cfg := hsnoc.DefaultConfig(4, 4)
+	eng := New(Options{Workers: 1, Runner: bad})
+	recs := eng.Run(context.Background(), []Job{NewJob(cfg, hsnoc.Tornado, 0.1, 0, 100, "bad")})
+	if recs[0].Err == "" || !strings.Contains(recs[0].Err, "invariant violation") {
+		t.Errorf("violation not reported in record: %+v", recs[0])
+	}
+	if st := eng.Status(); st.Violations != 5 || st.Failed != 1 {
+		t.Errorf("status = %+v, want 5 violations / 1 failed", st)
+	}
+}
+
+// explodingTicker panics inside the executor worker pool.
+type explodingTicker struct{}
+
+func (explodingTicker) Tick(now sim.Cycle, phase sim.Phase) {
+	if now == 2 && phase == sim.PhaseCompute {
+		panic("ticker exploded")
+	}
+}
+
+// TestEngineContainsExecutorWorkerPanic glues the two containment
+// layers end to end: a Ticker panic on a pooled executor goroutine is
+// re-raised on the job goroutine, where the engine's recover turns it
+// into one failed record — the other job and the process survive.
+func TestEngineContainsExecutorWorkerPanic(t *testing.T) {
+	runner := func(ctx context.Context, j Job) (stats.RunRecord, error) {
+		if j.Label == "boom" {
+			clock := &sim.Clock{}
+			ts := []sim.Ticker{explodingTicker{}, explodingTicker{}, explodingTicker{}, explodingTicker{}}
+			e := sim.NewExecutor(clock, ts, 4)
+			defer e.Close()
+			e.Run(10)
+		}
+		return stats.RunRecord{Runs: 1, Packets: 1}, nil
+	}
+	cfg := hsnoc.DefaultConfig(4, 4)
+	jobs := []Job{
+		NewJob(cfg, hsnoc.Tornado, 0.1, 0, 100, "boom"),
+		NewJob(cfg, hsnoc.Tornado, 0.2, 0, 100, "fine"),
+	}
+	eng := New(Options{Workers: 2, Runner: runner})
+	recs := eng.Run(context.Background(), jobs)
+	if !strings.Contains(recs[0].Err, "panic") {
+		t.Errorf("worker panic not contained to its job: %+v", recs[0])
+	}
+	if recs[1].Err != "" {
+		t.Errorf("healthy job dragged down: %+v", recs[1])
+	}
+	if st := eng.Status(); st.Failed != 1 || st.Done != 1 {
+		t.Errorf("status = %+v, want 1 failed / 1 done", st)
 	}
 }
 

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tdmnoc/hsnoc"
 	"tdmnoc/internal/stats"
 )
 
@@ -38,12 +40,13 @@ type Engine struct {
 	runner  Runner
 	store   *Store
 
-	queued    atomic.Int64
-	running   atomic.Int64
-	done      atomic.Int64
-	failed    atomic.Int64
-	cacheHits atomic.Int64
-	cycles    atomic.Int64
+	queued     atomic.Int64
+	running    atomic.Int64
+	done       atomic.Int64
+	failed     atomic.Int64
+	cacheHits  atomic.Int64
+	cycles     atomic.Int64
+	violations atomic.Int64
 
 	draining atomic.Bool
 }
@@ -56,6 +59,7 @@ type Status struct {
 	Failed          int64 `json:"jobs_failed"`
 	CacheHits       int64 `json:"cache_hits"`
 	CyclesSimulated int64 `json:"cycles_simulated"`
+	Violations      int64 `json:"invariant_violations"`
 }
 
 // New builds an engine.
@@ -78,6 +82,7 @@ func (e *Engine) Status() Status {
 		Failed:          e.failed.Load(),
 		CacheHits:       e.cacheHits.Load(),
 		CyclesSimulated: e.cycles.Load(),
+		Violations:      e.violations.Load(),
 	}
 }
 
@@ -192,6 +197,10 @@ func (e *Engine) runOne(ctx context.Context, j Job) (rec Record) {
 	}
 	res, err := e.runner(jctx, j)
 	if err != nil {
+		var ve *hsnoc.ViolationError
+		if errors.As(err, &ve) {
+			e.violations.Add(ve.Count)
+		}
 		rec.Err = err.Error()
 		return rec
 	}

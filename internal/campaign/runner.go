@@ -21,6 +21,12 @@ func Simulate(ctx context.Context, j Job) (stats.RunRecord, error) {
 	if err != nil {
 		return stats.RunRecord{}, err
 	}
+	// With Config.CheckInvariants set, a run that tripped the checker is
+	// a failure: the record is returned for inspection but the error
+	// keeps the engine from persisting (and thus caching) corrupt data.
+	if err := s.InvariantError(); err != nil {
+		return FromResults(res), err
+	}
 	return FromResults(res), nil
 }
 

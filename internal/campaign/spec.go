@@ -66,6 +66,12 @@ type Spec struct {
 	// results are identical for any value, so it is not a grid axis and
 	// does not enter cache keys).
 	SimWorkers int `json:"sim_workers,omitempty"`
+	// CheckInvariants enables the runtime invariant layer on every job.
+	// Checking only observes a run (it never changes results), so like
+	// SimWorkers it does not enter cache keys; jobs whose checked run
+	// reports violations fail with a descriptive Err instead of
+	// persisting a corrupt record.
+	CheckInvariants bool `json:"check_invariants,omitempty"`
 }
 
 // ParseSpec reads a JSON spec, rejecting unknown fields so typos fail
@@ -219,6 +225,7 @@ func (s Spec) Expand() ([]Job, error) {
 							if s.SimWorkers > 0 {
 								cfg.Workers = s.SimWorkers
 							}
+							cfg.CheckInvariants = s.CheckInvariants
 							if err := cfg.Validate(); err != nil {
 								return nil, err
 							}

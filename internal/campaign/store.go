@@ -2,8 +2,11 @@ package campaign
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
@@ -30,26 +33,34 @@ func OpenStore(path string) (*Store, error) {
 		return nil, fmt.Errorf("campaign: open store: %w", err)
 	}
 	s := &Store{f: f, path: path, cache: map[string]Record{}}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	// ReadBytes instead of a Scanner: records have no line-length cap (a
+	// Scanner's buffer limit would make one oversized record fail the
+	// whole store open, losing resume). Only a genuinely torn trailing
+	// line — unterminated, from a write cut short by a crash — is
+	// skippable; an unparseable newline-terminated line means real
+	// corruption and fails the open rather than silently dropping data.
+	br := bufio.NewReader(f)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var r Record
+			switch jerr := json.Unmarshal(trimmed, &r); {
+			case jerr != nil && rerr == nil:
+				f.Close()
+				return nil, fmt.Errorf("campaign: store %s: corrupt record: %w", path, jerr)
+			case jerr != nil:
+				// Torn trailing line; its job will be recomputed.
+			case r.Key != "" && r.Err == "":
+				s.cache[r.Key] = r
+			}
 		}
-		var r Record
-		if err := json.Unmarshal(line, &r); err != nil {
-			// A torn trailing line from an interrupted run; the job it
-			// belonged to will be recomputed.
-			continue
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			f.Close()
+			return nil, fmt.Errorf("campaign: read store %s: %w", path, rerr)
 		}
-		if r.Key != "" && r.Err == "" {
-			s.cache[r.Key] = r
-		}
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("campaign: read store %s: %w", path, err)
 	}
 	return s, nil
 }

@@ -1,0 +1,56 @@
+package flit
+
+import "tdmnoc/internal/invariant"
+
+// HashPacket folds a packet's fields — including the mutable ones the
+// protocol rewrites in place (Dst, Flits, Switching, Config) — into h.
+// Used by the runtime invariant layer's determinism digest.
+func HashPacket(h *invariant.Hasher, p *Packet) {
+	if p == nil {
+		h.Byte(0)
+		return
+	}
+	h.Byte(1)
+	h.Uint64(p.ID)
+	h.Byte(byte(p.Kind))
+	h.Int(int(p.Src))
+	h.Int(int(p.Dst))
+	h.Byte(byte(p.Class))
+	h.Byte(byte(p.Switching))
+	h.Int(p.Flits)
+	h.Int(p.PSFlits)
+	h.Int(p.Config.Slot)
+	h.Int(p.Config.BaseSlot)
+	h.Int(p.Config.Duration)
+	h.Int(p.Config.Hop)
+	h.Int(p.Config.Epoch)
+	h.Bool(p.Config.OK)
+	h.Int(p.Config.FailHop)
+	h.Int(int(p.Config.CircuitDst))
+	h.Int64(p.CreatedAt)
+	h.Int64(p.InjectedAt)
+	h.Int64(p.EjectedAt)
+	h.Bool(p.HopOff)
+	h.Int(int(p.HopOffDst))
+	h.Int(p.ReplyFlits)
+	h.Uint64(p.ReqID)
+	h.Int(p.SlackHint)
+}
+
+// HashFlit folds one flit and its packet into h. A nil flit hashes as a
+// single zero byte so presence and absence always hash differently.
+func HashFlit(h *invariant.Hasher, f *Flit) {
+	if f == nil {
+		h.Byte(0)
+		return
+	}
+	h.Byte(1)
+	h.Byte(byte(f.Type))
+	h.Int(f.Seq)
+	h.Int(f.VC)
+	h.Bool(f.CS)
+	h.Int64(f.BufferedAt)
+	h.Bool(f.Hitchhike)
+	h.Byte(byte(f.ShareIn))
+	HashPacket(h, f.Pkt)
+}

@@ -1,0 +1,126 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"tdmnoc/internal/invariant"
+	"tdmnoc/internal/topology"
+)
+
+// CheckConsistency verifies this router's slot-table state against the
+// ownership invariants the setup protocol is supposed to maintain:
+//
+//   - each input table's reserved counter equals its count of valid
+//     entries, and no valid entry sits beyond the active region;
+//   - at most one input port owns a given (slot, output) pair — two
+//     live circuits must never be granted the same output at the same
+//     phase (Fig. 1 setups 2 and 3);
+//   - the reverse outBusy index agrees with the forward tables: busy
+//     exactly when some input holds a valid entry toward that output.
+//
+// Each violation is passed to report as (kind, detail).
+func (rt *RouterTables) CheckConsistency(report func(kind, detail string)) {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		tbl := rt.in[p]
+		valid := 0
+		for s, e := range tbl.entries {
+			if !e.Valid {
+				continue
+			}
+			valid++
+			if s >= rt.active {
+				report("slot-table", fmt.Sprintf("input %v slot %d valid beyond active region %d", p, s, rt.active))
+			}
+		}
+		if valid != tbl.reserved {
+			report("slot-table", fmt.Sprintf("input %v reserved counter %d but %d valid entries", p, tbl.reserved, valid))
+		}
+	}
+	for s := 0; s < rt.active; s++ {
+		for o := topology.Port(0); o < topology.NumPorts; o++ {
+			owners := 0
+			first := topology.Port(0)
+			for p := topology.Port(0); p < topology.NumPorts; p++ {
+				e := rt.in[p].entries[s]
+				if e.Valid && e.Out == o {
+					if owners == 0 {
+						first = p
+					}
+					owners++
+				}
+			}
+			if owners > 1 {
+				report("slot-table", fmt.Sprintf("slot %d output %v claimed by %d inputs (first %v)", s, o, owners, first))
+			}
+			if busy := rt.outBusy[s][o]; busy != (owners > 0) {
+				report("slot-table", fmt.Sprintf("slot %d output %v outBusy=%v but %d owning inputs", s, o, busy, owners))
+			}
+		}
+	}
+}
+
+// VisitEntries calls fn for every slot-table entry in the active region,
+// in deterministic (input port, slot) order. Tests use it to snapshot and
+// compare reservation state without reaching into unexported fields.
+func (rt *RouterTables) VisitEntries(fn func(in topology.Port, slot int, e SlotEntry)) {
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		for s := 0; s < rt.active; s++ {
+			fn(p, s, rt.in[p].entries[s])
+		}
+	}
+}
+
+// HashState folds the router's slot-table state into h. Only the active
+// region is hashed: entries beyond it are always zero (Reset wipes the
+// whole table before shrinking or growing the active size, and every
+// mutation indexes modulo active).
+func (rt *RouterTables) HashState(h *invariant.Hasher) {
+	h.Int(rt.active)
+	for p := topology.Port(0); p < topology.NumPorts; p++ {
+		for s := 0; s < rt.active; s++ {
+			e := rt.in[p].entries[s]
+			h.Bool(e.Valid)
+			h.Byte(byte(e.Out))
+			h.Int64(e.GraceUntil)
+		}
+	}
+	for s := 0; s < rt.active; s++ {
+		for o := topology.Port(0); o < topology.NumPorts; o++ {
+			h.Bool(rt.outBusy[s][o])
+			h.Int64(rt.outGrace[s][o])
+		}
+	}
+}
+
+// HashState folds the gate's accumulator state into h: the observation
+// counters decide future adjustments, so a divergence here surfaces
+// cycles before the active VC count itself changes.
+func (g *VCGate) HashState(h *invariant.Hasher) {
+	h.Int(g.active)
+	h.Int64(g.busyAccum)
+	h.Int64(g.obsCycles)
+}
+
+// HashState folds the latency gate's accumulator state into h.
+func (g *LatencyVCGate) HashState(h *invariant.Hasher) {
+	h.Int(g.active)
+	h.Int64(g.delaySum)
+	h.Int64(g.delayN)
+}
+
+// HashState folds the DLT's full state — including the unexported
+// failure counters and LRU stamps, which influence future sharing
+// decisions — into h.
+func (d *DLT) HashState(h *invariant.Hasher) {
+	h.Uint64(d.tick)
+	for i := range d.entries {
+		e := d.entries[i]
+		h.Bool(e.Valid)
+		h.Int(int(e.Dest))
+		h.Int(e.Slot)
+		h.Int(e.Dur)
+		h.Byte(byte(e.In))
+		h.Byte(e.fail)
+		h.Uint64(e.stamp)
+	}
+}

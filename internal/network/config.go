@@ -68,6 +68,14 @@ type Config struct {
 
 	// Power is the technology parameter set for energy reporting.
 	Power power.Params
+
+	// CheckInvariants enables the runtime invariant layer: flit
+	// conservation, credit consistency, slot-table ownership, and the
+	// rolling determinism digest. CheckInterval is the checking cadence
+	// in cycles (<= 1 means every cycle). Checks run serially between
+	// cycles, after the management step.
+	CheckInvariants bool
+	CheckInterval   int
 }
 
 // DefaultConfig returns the Table-I baseline network: a 6x6 mesh of

@@ -1,0 +1,259 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"tdmnoc/internal/flit"
+	"tdmnoc/internal/invariant"
+	"tdmnoc/internal/sim"
+	"tdmnoc/internal/topology"
+)
+
+// This file is the network's contribution to the runtime invariant
+// layer: the network-wide flit-conservation check, the NI-side half of
+// the local-port credit check, the full-state determinism digest, and
+// the per-NI state hash. All of it runs serially between cycles (after
+// the executor's transfer phase and the manage step), when the
+// two-phase contract guarantees in-flight credits are delivered, output
+// latches toward connected ports are drained, and ni.staged is empty.
+
+// InvariantViolations returns the stored violations (nil when checking
+// is disabled or clean).
+func (n *Network) InvariantViolations() []invariant.Violation {
+	if n.checker == nil {
+		return nil
+	}
+	return n.checker.Violations()
+}
+
+// InvariantCount returns the total violations detected, including ones
+// beyond the storage cap.
+func (n *Network) InvariantCount() int64 {
+	if n.checker == nil {
+		return 0
+	}
+	return n.checker.Count()
+}
+
+// RollingDigest returns the FNV-1a digest folded over every checked
+// cycle's state digest (0 when checking is disabled). Identical seeded
+// runs must produce identical rolling digests regardless of Workers.
+func (n *Network) RollingDigest() uint64 {
+	if n.checker == nil {
+		return 0
+	}
+	return n.checker.Digest()
+}
+
+// StateDigest hashes the complete mutable simulation state — clock,
+// resize manager, every router pipeline and every NI — into one 64-bit
+// FNV-1a value. Two runs of the same seeded config diverge at the first
+// cycle whose digests differ. Works with or without checking enabled.
+func (n *Network) StateDigest() uint64 {
+	h := invariant.NewHasher()
+	h.Int64(int64(n.clock.Now()))
+	h.Int(n.slotActive)
+	h.Int(n.epoch)
+	h.Bool(n.csFrozen)
+	h.Int64(int64(n.resizeAt))
+	h.Int(n.resizeTo)
+	for _, r := range n.routers {
+		r.HashState(h)
+	}
+	for _, ni := range n.nis {
+		ni.hashState(h)
+	}
+	return h.Sum()
+}
+
+// checkInvariants runs all enabled checks for cycle now and folds the
+// state digest into the rolling digest.
+func (n *Network) checkInvariants(now int64) {
+	// Per-router checks: credit consistency toward neighbours, slot-table
+	// ownership and counter consistency.
+	for _, r := range n.routers {
+		id := int(r.ID())
+		r.CheckInvariants(func(kind, detail string) {
+			n.checker.Report(now, id, kind, detail)
+		})
+	}
+	// NI-side credit check for the local input port: injection credits
+	// plus the local input's packet-switched occupancy must equal the
+	// buffer depth (ni.staged is always drained between cycles).
+	depth := n.cfg.Router.BufDepth
+	for _, ni := range n.nis {
+		id := int(ni.id)
+		for v := range ni.credits {
+			occ := ni.r.LocalInputPS(v)
+			if ni.credits[v]+occ != depth {
+				n.checker.Report(now, id, "credit",
+					fmt.Sprintf("local vc %d: NI credits %d + occupancy %d != depth %d", v, ni.credits[v], occ, depth))
+			}
+		}
+	}
+	// Network-wide flit conservation: the set of distinct data packets
+	// with at least one flit somewhere in the network must exactly match
+	// the sent-but-not-ejected count. A partially reassembled packet
+	// always still has >= 1 flit in flight, so counting distinct IDs is
+	// exact.
+	seen := make(map[uint64]struct{})
+	add := func(id uint64) { seen[id] = struct{}{} }
+	for _, r := range n.routers {
+		r.CollectDataPackets(add)
+	}
+	for _, ni := range n.nis {
+		ni.collectDataPackets(add)
+	}
+	if got, want := int64(len(seen)), n.InFlight(); got != want {
+		n.checker.Report(now, -1, "conservation",
+			fmt.Sprintf("%d distinct data packets in flight but sent-ejected = %d", got, want))
+	}
+	n.checker.Roll(n.StateDigest())
+}
+
+// hashState folds the NI's complete mutable state into h. Map contents
+// are folded in sorted-key order so the hash is independent of Go's
+// randomized map iteration.
+func (ni *NI) hashState(h *invariant.Hasher) {
+	h.Int(len(ni.psQ))
+	for _, p := range ni.psQ {
+		flit.HashPacket(h, p)
+	}
+	h.Int(len(ni.cur))
+	for _, f := range ni.cur {
+		flit.HashFlit(h, f)
+	}
+	h.Int(ni.curIdx)
+	h.Int(ni.curVC)
+	for _, c := range ni.credits {
+		h.Int(c)
+	}
+	for _, b := range ni.vcBusy {
+		h.Bool(b)
+	}
+	flit.HashFlit(h, ni.staged)
+
+	h.Int(len(ni.circuitList))
+	for _, c := range ni.circuitList {
+		h.Int(int(c.dst))
+		h.Int(c.dur)
+		h.Int(c.epoch)
+		h.Int(c.hops)
+		h.Int64(int64(c.lastUsed))
+		h.Int(c.overflow)
+		h.Int(len(c.blocks))
+		for _, b := range c.blocks {
+			h.Int(b.baseSlot)
+			h.Int(b.pending)
+		}
+	}
+	h.Int(len(ni.csJobs))
+	for _, j := range ni.csJobs {
+		flit.HashPacket(h, j.pkt)
+		h.Int(j.slot)
+		h.Byte(byte(j.shareIn))
+		h.Bool(j.hitchhike)
+		h.Int(int(j.circuitDst))
+	}
+	h.Int(len(ni.csCur))
+	for _, f := range ni.csCur {
+		flit.HashFlit(h, f)
+	}
+	h.Int(ni.csIdx)
+
+	hashNodeKeys(h, ni.pending, func(st *setupState) {
+		h.Int(int(st.dst))
+		h.Int(st.attempts)
+	})
+	hashNodeKeys(h, ni.hitchQueued, func(v int) { h.Int(v) })
+	hashNodeKeys(h, ni.backoff, func(c sim.Cycle) { h.Int64(int64(c)) })
+	hashNodeKeys(h, ni.freq, func(v int) { h.Int(v) })
+	h.Int64(int64(ni.freqResetAt))
+	if ni.dlt != nil {
+		ni.dlt.HashState(h)
+	}
+	h.Int64(ni.dltAccesses)
+	h.Int(len(ni.dltEventBuf))
+	for _, e := range ni.dltEventBuf {
+		h.Bool(e.Add)
+		h.Int(int(e.Dst))
+		h.Int(e.Slot)
+		h.Int(e.Dur)
+		h.Byte(byte(e.In))
+	}
+
+	h.Int(len(ni.rx))
+	for _, rf := range ni.rx {
+		flit.HashFlit(h, rf.f)
+		h.Int64(int64(rf.at))
+	}
+	keys := make([]uint64, 0, len(ni.rxCount))
+	for k := range ni.rxCount {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h.Int(len(keys))
+	for _, k := range keys {
+		h.Uint64(k)
+		h.Int(ni.rxCount[k])
+	}
+
+	h.Int(len(ni.setupResults))
+	for _, ok := range ni.setupResults {
+		h.Bool(ok)
+	}
+	h.Int64(ni.TotalSent)
+	h.Int64(ni.TotalEjected)
+	h.Uint64(ni.seq)
+}
+
+// hashNodeKeys folds a NodeID-keyed map in sorted-key order.
+func hashNodeKeys[V any](h *invariant.Hasher, m map[topology.NodeID]V, hashVal func(V)) {
+	keys := make([]topology.NodeID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h.Int(len(keys))
+	for _, k := range keys {
+		h.Int(int(k))
+		hashVal(m[k])
+	}
+}
+
+// collectDataPackets calls add with the ID of every data packet that has
+// a flit (or the whole packet) queued in this NI: the packet-switched
+// queue, the in-progress injection streams, the staged flit, waiting
+// circuit-switched jobs, and the receive buffer. Configuration packets
+// are excluded to match the conservation counters.
+func (ni *NI) collectDataPackets(add func(id uint64)) {
+	for _, p := range ni.psQ {
+		if p.Kind == flit.DataPacket {
+			add(p.ID)
+		}
+	}
+	for _, f := range ni.cur {
+		if f.Pkt.Kind == flit.DataPacket {
+			add(f.Pkt.ID)
+		}
+	}
+	if ni.staged != nil && ni.staged.Pkt.Kind == flit.DataPacket {
+		add(ni.staged.Pkt.ID)
+	}
+	for _, j := range ni.csJobs {
+		if j.pkt.Kind == flit.DataPacket {
+			add(j.pkt.ID)
+		}
+	}
+	for _, f := range ni.csCur {
+		if f.Pkt.Kind == flit.DataPacket {
+			add(f.Pkt.ID)
+		}
+	}
+	for _, rf := range ni.rx {
+		if rf.f.Pkt.Kind == flit.DataPacket {
+			add(rf.f.Pkt.ID)
+		}
+	}
+}

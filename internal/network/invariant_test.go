@@ -1,0 +1,169 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+
+	"tdmnoc/internal/hybrid"
+	"tdmnoc/internal/topology"
+)
+
+// TestInvariantCheckerCleanRuns drives real traffic through checked
+// networks and requires zero violations: the checker must not
+// false-positive on any legitimate state the protocols produce.
+func TestInvariantCheckerCleanRuns(t *testing.T) {
+	cases := map[string]Config{
+		"packet": DefaultConfig(6, 6),
+		"hybrid": HybridTDMConfig(6, 6),
+		"shared": HybridTDMConfig(6, 6).WithSharing().WithVCGating(),
+	}
+	for name, cfg := range cases {
+		cfg.CheckInvariants = true
+		if name == "shared" {
+			cfg.CheckInterval = 4 // also cover the every-N-cycles path
+		}
+		net := New(cfg, func(id topology.NodeID) Endpoint {
+			return &burst{count: 100, dstOf: reversePattern, allowCS: true, period: 5}
+		})
+		net.Run(1500)
+		net.Drain(10000)
+		if n := net.InvariantCount(); n != 0 {
+			t.Errorf("%s: %d invariant violations; first: %s", name, n, net.InvariantViolations()[0])
+		}
+		if net.RollingDigest() == 0 {
+			t.Errorf("%s: rolling digest never accumulated", name)
+		}
+		net.Close()
+	}
+}
+
+// TestSerialParallelDigestEquivalence locksteps a serial and a parallel
+// run of the same seeded config, comparing full-state digests after
+// every cycle: a determinism bug fails at the first diverging cycle
+// instead of as an end-of-run aggregate mismatch.
+func TestSerialParallelDigestEquivalence(t *testing.T) {
+	build := func(workers int) *Network {
+		cfg := HybridTDMConfig(6, 6)
+		cfg.Workers = workers
+		cfg.CheckInvariants = true
+		return New(cfg, func(id topology.NodeID) Endpoint {
+			return &burst{count: 100, dstOf: reversePattern, allowCS: true, period: 5}
+		})
+	}
+	serial, parallel := build(1), build(4)
+	defer serial.Close()
+	defer parallel.Close()
+	for c := 0; c < 1000; c++ {
+		serial.Step()
+		parallel.Step()
+		if ds, dp := serial.StateDigest(), parallel.StateDigest(); ds != dp {
+			t.Fatalf("state diverged at cycle %d: serial %016x, parallel %016x", c, ds, dp)
+		}
+	}
+	if ds, dp := serial.RollingDigest(), parallel.RollingDigest(); ds != dp {
+		t.Fatalf("rolling digests differ: serial %016x, parallel %016x", ds, dp)
+	}
+	if n := serial.InvariantCount() + parallel.InvariantCount(); n != 0 {
+		t.Fatalf("%d invariant violations during equivalence run", n)
+	}
+}
+
+// TestInvariantCheckerCatchesDroppedCredit seeds the one fault class
+// the credit invariant exists for — a credit lost in flight — and
+// requires the checker to localise it to the right router, kind and
+// cycle.
+func TestInvariantCheckerCatchesDroppedCredit(t *testing.T) {
+	cfg := HybridTDMConfig(6, 6)
+	cfg.CheckInvariants = true
+	net := New(cfg, func(id topology.NodeID) Endpoint {
+		return &burst{count: 50, dstOf: reversePattern, allowCS: true, period: 5}
+	})
+	defer net.Close()
+	net.Run(50)
+	if n := net.InvariantCount(); n != 0 {
+		t.Fatalf("%d violations before the fault was injected", n)
+	}
+	net.Router(14).FaultDropCredit(topology.East, 0)
+	net.Step()
+	want := int64(net.Now())
+	if net.InvariantCount() == 0 {
+		t.Fatal("dropped credit went undetected")
+	}
+	v := net.InvariantViolations()[0]
+	if v.Kind != "credit" || v.Router != 14 || v.Cycle != want {
+		t.Fatalf("violation %s: want kind credit, router 14, cycle %d", v, want)
+	}
+	if v.Detail == "" {
+		t.Fatal("violation carries no reproduction detail")
+	}
+}
+
+// slotOwner is one valid slot-table reservation, for snapshotting.
+type slotOwner struct {
+	in   topology.Port
+	slot int
+	out  topology.Port
+}
+
+func validEntries(rt *hybrid.RouterTables) []slotOwner {
+	var out []slotOwner
+	rt.VisitEntries(func(in topology.Port, slot int, e hybrid.SlotEntry) {
+		if e.Valid {
+			out = append(out, slotOwner{in, slot, e.Out})
+		}
+	})
+	return out
+}
+
+// TestFailedSetupReleasesReservedPrefix exercises the bounded-teardown
+// path at protocol level: a setup that reserved slots at hops 0..k-1
+// and was refused at hop k must release exactly its own reserved
+// prefix — every router it touched returns to its pre-setup table
+// state, and an unrelated live circuit keeps every one of its slots.
+func TestFailedSetupReleasesReservedPrefix(t *testing.T) {
+	cfg := HybridTDMConfig(6, 6)
+	cfg.DynamicSlots = false // keep tables stable so snapshots compare exactly
+	cfg.CheckInvariants = true
+	net, _ := driverNet(t, cfg)
+	defer net.Close()
+	net.EnableStats()
+
+	// Live circuit A along row 0 (routers 0..5).
+	establishCircuit(t, net, 0, 5)
+
+	// Make every reservation at router 9 fail: setups from node 6 to 11
+	// along row 1 (routers 6..11) reserve at hops 0..2 and are refused
+	// at hop 3.
+	net.Router(9).Tables().ReserveCap = 0.01
+
+	before := make(map[int][]slotOwner)
+	for r := 0; r < 12; r++ {
+		before[r] = validEntries(net.Router(topology.NodeID(r)).Tables())
+	}
+
+	ni := net.NI(6)
+	for i := 0; i < 30; i++ {
+		ni.Send(net.Now(), 11, SendOptions{AllowCS: true, Slack: -1})
+		net.Run(20)
+	}
+	net.RunUntil(func() bool { return net.Stats().SetupsFailed > 0 }, 5000)
+	if net.Stats().SetupsFailed == 0 {
+		t.Fatal("no setup failed despite the reservation cap")
+	}
+	if !net.Drain(20000) {
+		t.Fatalf("drain failed, in flight %d", net.InFlight())
+	}
+	if _, ok := niCircuit(ni, 11); ok {
+		t.Fatal("circuit established despite the reservation cap")
+	}
+
+	for r := 0; r < 12; r++ {
+		after := validEntries(net.Router(topology.NodeID(r)).Tables())
+		if !reflect.DeepEqual(before[r], after) {
+			t.Errorf("router %d slot table changed by the failed setup:\n before %v\n after  %v", r, before[r], after)
+		}
+	}
+	if n := net.InvariantCount(); n != 0 {
+		t.Errorf("%d invariant violations; first: %s", n, net.InvariantViolations()[0])
+	}
+}

@@ -2,6 +2,7 @@ package network
 
 import (
 	"tdmnoc/internal/hybrid"
+	"tdmnoc/internal/invariant"
 	"tdmnoc/internal/power"
 	"tdmnoc/internal/router"
 	"tdmnoc/internal/sim"
@@ -20,6 +21,10 @@ type Network struct {
 
 	routers []*router.Router
 	nis     []*NI
+
+	// checker is the optional runtime invariant layer (nil unless
+	// cfg.CheckInvariants).
+	checker *invariant.Checker
 
 	resizer *hybrid.Resizer
 	// slotActive is the slot count the routers are actually using; it
@@ -82,6 +87,9 @@ func New(cfg Config, mk EndpointFactory) *Network {
 		tickers = append(tickers, ni)
 	}
 	n.exec = sim.NewExecutor(&n.clock, tickers, cfg.Workers)
+	if cfg.CheckInvariants {
+		n.checker = invariant.NewChecker(cfg.CheckInterval)
+	}
 	return n
 }
 
@@ -112,10 +120,16 @@ func (n *Network) ActiveSlots() int { return n.slotActive }
 func (n *Network) ResizeEvents() int { return n.resizer.ResizeEvents() }
 
 // Step advances the simulation one cycle, then runs the between-cycle
-// manager (dynamic slot-table sizing).
+// manager (dynamic slot-table sizing) and, when enabled and due, the
+// runtime invariant checks.
 func (n *Network) Step() {
 	n.exec.Step()
 	n.manage()
+	if n.checker != nil {
+		if now := int64(n.clock.Now()); n.checker.Due(now) {
+			n.checkInvariants(now)
+		}
+	}
 }
 
 // Run advances the simulation by the given number of cycles.

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -17,6 +19,14 @@ type Executor struct {
 	// wg and work are reused across cycles to avoid per-cycle allocation.
 	work chan workItem
 	wg   sync.WaitGroup
+
+	// A panic inside a worker goroutine would otherwise kill the whole
+	// process, bypassing any recover the caller (e.g. a campaign job)
+	// has installed on its own goroutine. Workers latch the first panic
+	// here and runPhase re-raises it on the caller's goroutine.
+	panicMu    sync.Mutex
+	panicked   any
+	panicStack []byte
 }
 
 type workItem struct {
@@ -51,10 +61,29 @@ func NewExecutor(clock *Clock, tickers []Ticker, workers int) *Executor {
 
 func (e *Executor) worker() {
 	for item := range e.work {
-		for i := item.lo; i < item.hi; i++ {
-			e.tickers[i].Tick(item.now, item.phase)
-		}
+		e.tickRange(item)
 		e.wg.Done()
+	}
+}
+
+// tickRange runs one work item, converting a Ticker panic into a latched
+// value instead of a process crash. Only the first panic is kept; once a
+// panic is latched the tickers' state is inconsistent and the executor
+// must not be reused, so later panics add no information.
+func (e *Executor) tickRange(item workItem) {
+	defer func() {
+		if p := recover(); p != nil {
+			stack := debug.Stack()
+			e.panicMu.Lock()
+			if e.panicked == nil {
+				e.panicked = p
+				e.panicStack = stack
+			}
+			e.panicMu.Unlock()
+		}
+	}()
+	for i := item.lo; i < item.hi; i++ {
+		e.tickers[i].Tick(item.now, item.phase)
 	}
 }
 
@@ -110,4 +139,14 @@ func (e *Executor) runPhase(now Cycle, phase Phase) {
 		e.work <- workItem{lo: lo, hi: hi, now: now, phase: phase}
 	}
 	e.wg.Wait()
+	// Re-raise a worker panic on the caller's goroutine so per-job
+	// containment (campaign's recover) sees it. The latched value stays
+	// set: the executor's state is inconsistent after a panic and it
+	// must not be stepped again.
+	e.panicMu.Lock()
+	p, stack := e.panicked, e.panicStack
+	e.panicMu.Unlock()
+	if p != nil {
+		panic(fmt.Sprintf("sim: worker panic: %v\n%s", p, stack))
+	}
 }

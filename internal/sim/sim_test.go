@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -226,6 +228,43 @@ func TestExecutorParallelMatchesSerial(t *testing.T) {
 	for i := range serial {
 		if serial[i] != parallel[i] {
 			t.Fatalf("ticker %d differs: serial=%d parallel=%d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// panicTicker panics during the compute phase of a chosen cycle.
+type panicTicker struct{ at Cycle }
+
+func (p *panicTicker) Tick(now Cycle, phase Phase) {
+	if now == p.at && phase == PhaseCompute {
+		panic("boom")
+	}
+}
+
+// TestExecutorPanicReachesCaller checks panic containment: a Ticker
+// panic on a pooled worker goroutine must not kill the process (which
+// would bypass any recover installed by the caller, e.g. a campaign
+// job) but re-raise from Step on the caller's goroutine.
+func TestExecutorPanicReachesCaller(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		clock := &Clock{}
+		ts := []Ticker{&countingTicker{}, &panicTicker{at: 3}, &countingTicker{}, &countingTicker{}}
+		e := NewExecutor(clock, ts, workers)
+		func() {
+			defer e.Close()
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Fatalf("workers=%d: Ticker panic did not reach the caller", workers)
+				}
+				if s := fmt.Sprint(p); !strings.Contains(s, "boom") {
+					t.Errorf("workers=%d: panic %q does not carry the original value", workers, s)
+				}
+			}()
+			e.Run(10)
+		}()
+		if clock.Now() != 3 {
+			t.Errorf("workers=%d: clock at %d, want the panicking cycle 3", workers, clock.Now())
 		}
 	}
 }

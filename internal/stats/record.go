@@ -115,10 +115,17 @@ func (r RunRecord) ConfigTrafficFraction() float64 {
 }
 
 // EnergySavingVs is the fractional energy saving of r relative to a
-// baseline record of comparable length (positive = r uses less energy).
-func (r RunRecord) EnergySavingVs(base RunRecord) float64 {
-	if base.EnergyPJ == 0 {
-		return 0
+// baseline record (positive = r uses less energy). Both totals are
+// normalized to energy per measured cycle before comparing, so records
+// of different lengths (or merged records with different run counts)
+// compare meaningfully. ok is false when either record has zero
+// measured cycles or the baseline reports zero energy — in those cases
+// no saving figure is defined and the caller should not print one.
+func (r RunRecord) EnergySavingVs(base RunRecord) (saving float64, ok bool) {
+	if r.Cycles == 0 || base.Cycles == 0 || base.EnergyPJ == 0 {
+		return 0, false
 	}
-	return 1 - r.EnergyPJ/base.EnergyPJ
+	perCycle := r.EnergyPJ / float64(r.Cycles)
+	basePerCycle := base.EnergyPJ / float64(base.Cycles)
+	return 1 - perCycle/basePerCycle, true
 }

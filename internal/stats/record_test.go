@@ -33,8 +33,29 @@ func TestRunRecordAccessors(t *testing.T) {
 	if !approx(r.ConfigTrafficFraction(), 0.01) {
 		t.Errorf("ConfigTrafficFraction = %v, want 0.01", r.ConfigTrafficFraction())
 	}
-	if s := r.EnergySavingVs(RunRecord{EnergyPJ: 10000}); !approx(s, 0.5) {
-		t.Errorf("EnergySavingVs = %v, want 0.5", s)
+	if s, ok := r.EnergySavingVs(RunRecord{Cycles: 1000, EnergyPJ: 10000}); !ok || !approx(s, 0.5) {
+		t.Errorf("EnergySavingVs = %v, %v, want 0.5, true", s, ok)
+	}
+	// Per-cycle normalization: a baseline twice as long with twice the
+	// energy has the same energy per cycle, so the saving is unchanged.
+	if s, ok := r.EnergySavingVs(RunRecord{Cycles: 2000, EnergyPJ: 20000}); !ok || !approx(s, 0.5) {
+		t.Errorf("EnergySavingVs (2x-length baseline) = %v, %v, want 0.5, true", s, ok)
+	}
+}
+
+func TestEnergySavingVsUndefined(t *testing.T) {
+	full := RunRecord{Cycles: 1000, EnergyPJ: 5000}
+	cases := map[string]struct{ r, base RunRecord }{
+		"zero record vs zero":  {RunRecord{}, RunRecord{}},
+		"zero-cycle numerator": {RunRecord{EnergyPJ: 5000}, full},
+		"zero-cycle baseline":  {full, RunRecord{EnergyPJ: 5000}},
+		"zero-energy baseline": {full, RunRecord{Cycles: 1000}},
+		"failed-job record":    {RunRecord{}, full},
+	}
+	for name, c := range cases {
+		if s, ok := c.r.EnergySavingVs(c.base); ok || s != 0 {
+			t.Errorf("%s: EnergySavingVs = %v, %v, want 0, false", name, s, ok)
+		}
 	}
 }
 
@@ -44,7 +65,6 @@ func TestRunRecordZeroSafe(t *testing.T) {
 		"AvgNetLatency": z.AvgNetLatency(), "AvgTotalLatency": z.AvgTotalLatency(),
 		"Throughput": z.Throughput(), "PayloadThroughput": z.PayloadThroughput(),
 		"CSFlitFraction": z.CSFlitFraction(), "ConfigTrafficFraction": z.ConfigTrafficFraction(),
-		"EnergySavingVs": z.EnergySavingVs(RunRecord{}),
 	} {
 		if v != 0 {
 			t.Errorf("%s on zero record = %v, want 0", name, v)
