@@ -1,0 +1,32 @@
+# Developer entry points. Everything here is plain go tooling — no
+# external dependencies.
+
+GO ?= go
+
+.PHONY: build test test-race bench bench-quick vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# bench runs the reproducible performance harness on the full windows
+# and writes BENCH_PR3.json (schema tdmnoc-bench/v1; see README for how
+# to read it). -strict makes it a gate: nonzero exit on hot-path
+# allocations or a serial-vs-parallel digest mismatch.
+bench:
+	$(GO) run ./cmd/bench -strict -o BENCH_PR3.json
+
+# bench-quick is the CI smoke variant: shorter windows, same gates.
+bench-quick:
+	$(GO) run ./cmd/bench -quick -strict -o BENCH_PR3.json

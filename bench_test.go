@@ -231,6 +231,25 @@ func BenchmarkEngine(b *testing.B) {
 	b.ReportMetric(float64(36*1000), "router-cycles/op")
 }
 
+// BenchmarkHotPathSteadyState is the tentpole regression benchmark: one
+// op is one cycle of a warmed 6x6 hybrid-TDM network (the Fig. 4
+// configuration cmd/bench gates on). The long warmup steps past the
+// allocator transient — pool stocking, circuit establishment — so
+// -benchmem reports the steady state, which must stay at 0 allocs/op.
+func BenchmarkHotPathSteadyState(b *testing.B) {
+	cfg := tdmCfg()
+	cfg.PathSharing = true
+	cfg.VCPowerGating = true
+	s := hsnoc.NewSynthetic(cfg, hsnoc.Tornado, 0.20)
+	defer s.Close()
+	s.Warmup(40000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Warmup(1)
+	}
+}
+
 // BenchmarkAblationLatencyVCGating compares the paper's suggested
 // latency-driven gating refinement (Section V-B4) against the
 // utilisation-driven policy.

@@ -1,0 +1,266 @@
+// Command bench is the reproducible performance harness for the
+// simulator's cycle hot path. It runs miniature versions of the paper's
+// Fig. 4 (6x6 synthetic load curves) and Fig. 6 (8x8 scalability)
+// configurations, measures wall time and allocator traffic per
+// simulated cycle, cross-checks the serial-vs-parallel determinism
+// digests, and writes everything as one JSON document (schema
+// "tdmnoc-bench/v1", see README).
+//
+// Usage:
+//
+//	go run ./cmd/bench [-o BENCH_PR3.json] [-quick] [-strict]
+//
+// -quick shortens the warmup/measure windows for CI smoke use.
+// -strict exits nonzero when the steady-state hot path allocates (any
+// 6x6 scenario above zeroAllocBudget allocs/cycle) or when a
+// determinism digest mismatches — the CI regression gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tdmnoc/hsnoc"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Quick      bool          `json:"quick"`
+	GeneratedA string        `json:"generated_at"`
+	Scenarios  []Scenario    `json:"scenarios"`
+	Digests    []DigestCheck `json:"determinism"`
+}
+
+// Scenario is one measured configuration.
+type Scenario struct {
+	Name    string  `json:"name"`
+	Figure  string  `json:"figure"`
+	Width   int     `json:"width"`
+	Height  int     `json:"height"`
+	Mode    string  `json:"mode"`
+	Pattern string  `json:"pattern"`
+	Rate    float64 `json:"rate"`
+
+	WarmupCycles   int `json:"warmup_cycles"`
+	MeasuredCycles int `json:"measured_cycles"`
+
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	// HotPathZeroAlloc reports whether the steady-state loop stayed
+	// within zeroAllocBudget (amortised zero: only rare reconfiguration
+	// events may allocate, never the per-cycle pipeline).
+	HotPathZeroAlloc bool `json:"hot_path_zero_alloc"`
+}
+
+// DigestCheck is one serial-vs-parallel determinism comparison.
+type DigestCheck struct {
+	Name          string `json:"name"`
+	Cycles        int    `json:"cycles"`
+	SerialDigest  string `json:"serial_digest"`
+	Workers4      string `json:"workers4_digest"`
+	Match         bool   `json:"match"`
+	InvariantsOK  bool   `json:"invariants_ok"`
+	CheckInterval int    `json:"check_interval"`
+}
+
+// zeroAllocBudget is the allocs/cycle ceiling under which the hot path
+// counts as allocation-free: rare circuit-reconfiguration events may
+// allocate (circuit block growth), but the per-cycle pipeline must not.
+// One alloc per hundred cycles is two orders of magnitude below one
+// event per cycle and far below any real hot-path regression.
+const zeroAllocBudget = 0.01
+
+type spec struct {
+	name, figure  string
+	width, height int
+	mode          hsnoc.Mode
+	pattern       hsnoc.Pattern
+	rate          float64
+}
+
+func specConfig(sp spec) hsnoc.Config {
+	cfg := hsnoc.DefaultConfig(sp.width, sp.height)
+	cfg.Mode = sp.mode
+	if sp.mode == hsnoc.HybridTDM {
+		cfg.PathSharing = true
+	}
+	cfg.VCPowerGating = true
+	cfg.Seed = 7
+	return cfg
+}
+
+func modeName(m hsnoc.Mode) string {
+	if m == hsnoc.HybridTDM {
+		return "hybrid-tdm"
+	}
+	return "packet-switched"
+}
+
+func patternName(p hsnoc.Pattern) string {
+	switch p {
+	case hsnoc.Tornado:
+		return "tornado"
+	case hsnoc.UniformRandom:
+		return "uniform"
+	case hsnoc.Transpose:
+		return "transpose"
+	default:
+		return fmt.Sprintf("pattern-%d", int(p))
+	}
+}
+
+// measure runs one scenario: warm up past the allocator transient, then
+// time a fixed run with the memstats deltas around it. The warmup also
+// fills the packet pools, so the measured window sees the steady state
+// the simulator spends virtually all of a long experiment in.
+func measure(sp spec, warmup, cycles int) Scenario {
+	cfg := specConfig(sp)
+	s := hsnoc.NewSynthetic(cfg, sp.pattern, sp.rate)
+	defer s.Close()
+	s.Warmup(warmup)
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	s.Warmup(cycles) // Warmup == Run without stats finalisation
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(cycles)
+	return Scenario{
+		Name: sp.name, Figure: sp.figure,
+		Width: sp.width, Height: sp.height,
+		Mode: modeName(sp.mode), Pattern: patternName(sp.pattern), Rate: sp.rate,
+		WarmupCycles: warmup, MeasuredCycles: cycles,
+		NsPerCycle:       float64(elapsed.Nanoseconds()) / float64(cycles),
+		AllocsPerCycle:   allocs,
+		BytesPerCycle:    float64(m1.TotalAlloc-m0.TotalAlloc) / float64(cycles),
+		HotPathZeroAlloc: allocs <= zeroAllocBudget,
+	}
+}
+
+// digestRun produces the rolling invariant digest of one checked run.
+func digestRun(sp spec, workers, cycles int) (uint64, bool) {
+	cfg := specConfig(sp)
+	cfg.Workers = workers
+	cfg.CheckInvariants = true
+	cfg.CheckInterval = 1
+	s := hsnoc.NewSynthetic(cfg, sp.pattern, sp.rate)
+	defer s.Close()
+	s.Warmup(cycles / 2)
+	s.Run(cycles)
+	return s.RollingDigest(), s.InvariantError() == nil
+}
+
+func checkDigest(sp spec, cycles int) DigestCheck {
+	serial, okS := digestRun(sp, 1, cycles)
+	par, okP := digestRun(sp, 4, cycles)
+	return DigestCheck{
+		Name:         sp.name,
+		Cycles:       cycles,
+		SerialDigest: fmt.Sprintf("%#016x", serial),
+		Workers4:     fmt.Sprintf("%#016x", par),
+		Match:        serial == par,
+		InvariantsOK: okS && okP, CheckInterval: 1,
+	}
+}
+
+// buildReport runs the whole suite. Split from main so the smoke test
+// can drive it without exec'ing the binary.
+func buildReport(quick bool) Report {
+	warmup, cycles, digestCycles := 40000, 30000, 2000
+	if quick {
+		// Uniform traffic keeps discovering new source/destination pairs
+		// (circuit map growth, pool stocking) well past 10k cycles, so the
+		// quick warmup cannot be much shorter than this without the
+		// transient leaking into the measured window.
+		warmup, cycles, digestCycles = 20000, 6000, 600
+	}
+	specs := []spec{
+		{"fig4-ps-tornado-0.20", "fig4", 6, 6, hsnoc.PacketSwitched, hsnoc.Tornado, 0.20},
+		{"fig4-tdm-tornado-0.20", "fig4", 6, 6, hsnoc.HybridTDM, hsnoc.Tornado, 0.20},
+		{"fig4-tdm-uniform-0.35", "fig4", 6, 6, hsnoc.HybridTDM, hsnoc.UniformRandom, 0.35},
+		{"fig6-tdm-transpose-0.20", "fig6", 8, 8, hsnoc.HybridTDM, hsnoc.Transpose, 0.20},
+	}
+	r := Report{
+		Schema:     "tdmnoc-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		GeneratedA: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, sp := range specs {
+		sc := measure(sp, warmup, cycles)
+		fmt.Printf("%-26s %9.1f ns/cycle  %7.4f allocs/cycle  %9.1f B/cycle\n",
+			sc.Name, sc.NsPerCycle, sc.AllocsPerCycle, sc.BytesPerCycle)
+		r.Scenarios = append(r.Scenarios, sc)
+	}
+	for _, sp := range specs[:3] { // digest checks cover the 6x6 set
+		d := checkDigest(sp, digestCycles)
+		fmt.Printf("%-26s serial=%s workers4=%s match=%v\n", d.Name, d.SerialDigest, d.Workers4, d.Match)
+		r.Digests = append(r.Digests, d)
+	}
+	return r
+}
+
+// strictViolations lists why a report fails the -strict gate (empty =
+// pass). Hot-path allocation is gated on the 6x6 Fig. 4 scenarios; the
+// determinism digests must match on every checked pair.
+func strictViolations(r Report) []string {
+	var out []string
+	for _, sc := range r.Scenarios {
+		if sc.Figure == "fig4" && !sc.HotPathZeroAlloc {
+			out = append(out, fmt.Sprintf("%s: %.4f allocs/cycle exceeds the zero-alloc budget %.2f",
+				sc.Name, sc.AllocsPerCycle, zeroAllocBudget))
+		}
+	}
+	for _, d := range r.Digests {
+		if !d.Match {
+			out = append(out, fmt.Sprintf("%s: serial digest %s != workers4 digest %s",
+				d.Name, d.SerialDigest, d.Workers4))
+		}
+		if !d.InvariantsOK {
+			out = append(out, fmt.Sprintf("%s: runtime invariant violations detected", d.Name))
+		}
+	}
+	return out
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR3.json", "output JSON path")
+	quick := flag.Bool("quick", false, "short windows for CI smoke runs")
+	strict := flag.Bool("strict", false, "exit nonzero on hot-path allocations or digest mismatch")
+	flag.Parse()
+
+	r := buildReport(*quick)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *strict {
+		if v := strictViolations(r); len(v) != 0 {
+			for _, msg := range v {
+				fmt.Fprintln(os.Stderr, "bench: STRICT FAIL:", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("strict gate: ok")
+	}
+}

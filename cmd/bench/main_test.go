@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tdmnoc/hsnoc"
+)
+
+// tinySpec is a scaled-down Fig. 4 configuration for schema tests: the
+// shape of the output is independent of the window lengths.
+var tinySpec = spec{
+	name: "smoke-tdm-tornado", figure: "fig4",
+	width: 4, height: 4,
+	mode: hsnoc.HybridTDM, pattern: hsnoc.Tornado, rate: 0.10,
+}
+
+// TestReportJSONSchema drives the harness end to end on tiny windows and
+// checks the emitted JSON document carries every field a downstream
+// consumer (CI artifact diffing, EXPERIMENTS.md tables) keys on.
+func TestReportJSONSchema(t *testing.T) {
+	r := Report{
+		Schema:     "tdmnoc-bench/v1",
+		GoVersion:  "go-test",
+		GOMAXPROCS: 1,
+		Quick:      true,
+		GeneratedA: "2000-01-01T00:00:00Z",
+		Scenarios:  []Scenario{measure(tinySpec, 200, 100)},
+		Digests:    []DigestCheck{checkDigest(tinySpec, 200)},
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got := doc["schema"]; got != "tdmnoc-bench/v1" {
+		t.Fatalf("schema = %v, want tdmnoc-bench/v1", got)
+	}
+	for _, key := range []string{"go_version", "gomaxprocs", "quick", "generated_at", "scenarios", "determinism"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("report missing top-level key %q", key)
+		}
+	}
+
+	scenarios, ok := doc["scenarios"].([]any)
+	if !ok || len(scenarios) != 1 {
+		t.Fatalf("scenarios = %v, want one entry", doc["scenarios"])
+	}
+	sc := scenarios[0].(map[string]any)
+	for _, key := range []string{
+		"name", "figure", "width", "height", "mode", "pattern", "rate",
+		"warmup_cycles", "measured_cycles",
+		"ns_per_cycle", "allocs_per_cycle", "bytes_per_cycle", "hot_path_zero_alloc",
+	} {
+		if _, ok := sc[key]; !ok {
+			t.Errorf("scenario missing key %q", key)
+		}
+	}
+	if sc["mode"] != "hybrid-tdm" || sc["pattern"] != "tornado" {
+		t.Errorf("scenario mode/pattern = %v/%v, want hybrid-tdm/tornado", sc["mode"], sc["pattern"])
+	}
+	if ns := sc["ns_per_cycle"].(float64); ns <= 0 {
+		t.Errorf("ns_per_cycle = %v, want > 0", ns)
+	}
+
+	digests, ok := doc["determinism"].([]any)
+	if !ok || len(digests) != 1 {
+		t.Fatalf("determinism = %v, want one entry", doc["determinism"])
+	}
+	d := digests[0].(map[string]any)
+	for _, key := range []string{"name", "cycles", "serial_digest", "workers4_digest", "match", "invariants_ok", "check_interval"} {
+		if _, ok := d[key]; !ok {
+			t.Errorf("digest check missing key %q", key)
+		}
+	}
+	if d["match"] != true {
+		t.Errorf("serial digest %v != workers4 digest %v on the smoke config",
+			d["serial_digest"], d["workers4_digest"])
+	}
+	if d["invariants_ok"] != true {
+		t.Error("invariant violations on the smoke config")
+	}
+}
+
+// TestStrictViolations pins the gate logic: fig4 scenarios are gated on
+// hot-path allocations, every digest pair on match + invariants.
+func TestStrictViolations(t *testing.T) {
+	ok := Report{
+		Scenarios: []Scenario{
+			{Name: "a", Figure: "fig4", HotPathZeroAlloc: true},
+			{Name: "b", Figure: "fig6", HotPathZeroAlloc: false}, // fig6 is informational
+		},
+		Digests: []DigestCheck{{Name: "a", Match: true, InvariantsOK: true}},
+	}
+	if v := strictViolations(ok); len(v) != 0 {
+		t.Fatalf("clean report flagged: %v", v)
+	}
+
+	bad := ok
+	bad.Scenarios = []Scenario{{Name: "a", Figure: "fig4", AllocsPerCycle: 0.5}}
+	bad.Digests = []DigestCheck{{Name: "a", Match: false}}
+	if v := strictViolations(bad); len(v) != 3 {
+		t.Fatalf("violations = %v, want alloc + mismatch + invariant entries", v)
+	}
+}
+
+// TestHotPathAllocationFree is the regression anchor for the tentpole:
+// once a Fig. 4 simulator is past its warmup transient, stepping it
+// allocates nothing. The run is deterministic (fixed seed, serial
+// executor), so an exact zero here is stable, not flaky; the only
+// allocations left in a long run are rare circuit-reconfiguration
+// events, and the measured window below is chosen clear of them.
+func TestHotPathAllocationFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warmup window too long for -short")
+	}
+	sp := spec{
+		name: "alloc-check", figure: "fig4",
+		width: 6, height: 6,
+		mode: hsnoc.HybridTDM, pattern: hsnoc.Tornado, rate: 0.20,
+	}
+	s := hsnoc.NewSynthetic(specConfig(sp), sp.pattern, sp.rate)
+	defer s.Close()
+	s.Warmup(40000)
+
+	const window = 256
+	avg := testing.AllocsPerRun(8, func() { s.Warmup(window) })
+	if perCycle := avg / window; perCycle != 0 {
+		t.Fatalf("steady-state hot path allocates: %.5f allocs/cycle (avg %.1f allocs per %d-cycle window)",
+			perCycle, avg, window)
+	}
+}

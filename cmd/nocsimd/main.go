@@ -12,6 +12,7 @@
 //	curl -s localhost:8080/campaigns/<id>/summary    # merged across seeds
 //	curl -s -X POST localhost:8080/campaigns/<id>/cancel
 //	curl -s localhost:8080/metrics                   # Prometheus counters
+//	go tool pprof localhost:8080/debug/pprof/profile # live CPU profile (-pprof=false to disable)
 //
 // SIGINT/SIGTERM drains gracefully: no new jobs start, in-flight jobs
 // finish and persist, then the server exits.
@@ -23,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +37,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent jobs per campaign (0 = NumCPU)")
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job timeout (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
+	enablePprof := flag.Bool("pprof", true, "serve net/http/pprof profiles under /debug/pprof/")
 	flag.Parse()
 
 	if err := os.MkdirAll(*data, 0o755); err != nil {
@@ -43,7 +46,19 @@ func main() {
 	}
 
 	s := newServer(*data, *workers, *jobTimeout)
-	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+	mux := s.routes()
+	if *enablePprof {
+		// Campaigns run long enough that profiling a live daemon is the
+		// practical way to chase a hot-path regression: e.g.
+		//   go tool pprof http://localhost:8080/debug/pprof/profile?seconds=30
+		//   go tool pprof http://localhost:8080/debug/pprof/allocs
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Addr: *addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

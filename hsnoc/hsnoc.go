@@ -169,6 +169,10 @@ func (c Config) networkConfig() network.Config {
 	}
 	nc.CheckInvariants = c.CheckInvariants
 	nc.CheckInterval = c.CheckInterval
+	// Every endpoint this layer attaches (synthetic generators, the
+	// hetero tile models, trace replayers) drops packet references when
+	// OnDeliver returns, so message recycling is always safe here.
+	nc.PoolMessages = true
 	return nc
 }
 

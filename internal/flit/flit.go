@@ -162,6 +162,17 @@ type Packet struct {
 	// responses the same slack the requester advertised (Section V-A2's
 	// warp-derived GPU slack).
 	SlackHint int
+
+	// store and ptrs are the packet's embedded flit storage, filled by
+	// ExplodeInto and reused across re-explosions (vicinity hop-off
+	// re-injection) and Pool recycles. Keeping the flits inside the
+	// packet ties their lifetime to the packet's: when the tail flit is
+	// delivered, every flit is provably dead too (flits of one packet
+	// travel in order on one path), so the whole object can be recycled
+	// at once. Not part of the invariant hash — only live flit values
+	// reachable through simulation state are.
+	store []Flit
+	ptrs  []*Flit
 }
 
 // Flit is the unit of link-level transfer.
@@ -196,28 +207,68 @@ func (f *Flit) IsHead() bool { return f.Type == Head || f.Type == HeadTail }
 // IsTail reports whether the flit ends its packet.
 func (f *Flit) IsTail() bool { return f.Type == Tail || f.Type == HeadTail }
 
-// Explode builds the flit sequence for a packet.
+// Explode builds the flit sequence for a packet, allocating fresh flits.
+// The hot injection path uses ExplodeInto instead; Explode remains for
+// callers without a recycling discipline (the SDM engine, tests).
 func Explode(p *Packet) []*Flit {
-	n := p.Flits
-	if n <= 0 {
-		n = 1
-	}
-	out := make([]*Flit, n)
-	for i := 0; i < n; i++ {
-		var t Type
-		switch {
-		case n == 1:
-			t = HeadTail
-		case i == 0:
-			t = Head
-		case i == n-1:
-			t = Tail
-		default:
-			t = Body
-		}
-		out[i] = &Flit{Pkt: p, Type: t, Seq: i, CS: p.Switching == CircuitSwitched}
+	out := make([]*Flit, flitCount(p))
+	for i := range out {
+		out[i] = &Flit{}
+		initFlit(out[i], p, i, len(out))
 	}
 	return out
+}
+
+// ExplodeInto builds the flit sequence inside the packet's own embedded
+// storage, allocating only on first use (or growth) of a given packet
+// object. The returned slice and the flits it points to are owned by
+// the packet: they are reused verbatim by the next ExplodeInto on the
+// same packet and die with it when a Pool recycles it, so callers must
+// not hold them past the packet's delivery.
+func (p *Packet) ExplodeInto() []*Flit {
+	n := flitCount(p)
+	if cap(p.store) < n {
+		// Round the capacity up so a recycled packet that carried a short
+		// message (1-flit setup) grows at most once when reused for a
+		// longer one: packet sizes in any given run are bounded, so the
+		// stores converge and steady-state injection stops allocating.
+		c := (n + 7) &^ 7
+		p.store = make([]Flit, n, c)
+		p.ptrs = make([]*Flit, n, c)
+	}
+	p.store = p.store[:n]
+	p.ptrs = p.ptrs[:n]
+	for i := 0; i < n; i++ {
+		p.store[i] = Flit{}
+		initFlit(&p.store[i], p, i, n)
+		p.ptrs[i] = &p.store[i]
+	}
+	return p.ptrs
+}
+
+func flitCount(p *Packet) int {
+	if p.Flits <= 0 {
+		return 1
+	}
+	return p.Flits
+}
+
+func initFlit(f *Flit, p *Packet, i, n int) {
+	var t Type
+	switch {
+	case n == 1:
+		t = HeadTail
+	case i == 0:
+		t = Head
+	case i == n-1:
+		t = Tail
+	default:
+		t = Body
+	}
+	f.Pkt = p
+	f.Type = t
+	f.Seq = i
+	f.CS = p.Switching == CircuitSwitched
 }
 
 // NetworkLatency returns inject-to-eject latency in cycles, or -1 if the

@@ -1,0 +1,205 @@
+package flit
+
+import "sync"
+
+// Pool is a free list of Packet objects, including their embedded flit
+// storage (see ExplodeInto). Each NI owns one, so Get/Put need no
+// synchronisation even under the parallel executor: a packet is taken
+// from the sending NI's pool and returned to the delivering NI's pool,
+// both inside that NI's own compute phase.
+//
+// Ownership contract: a packet may be Put only when nothing in the
+// simulation can still reach it — in practice, exactly when its tail
+// flit is consumed at its final destination (delivery of a data packet,
+// consumption of an ack/teardown). Flits of one packet travel in order
+// over a single path and the source stream has necessarily finished
+// before the tail arrives, so tail consumption proves every flit and
+// every reference to the packet is dead. Loopback deliveries are the
+// one exception — the caller of Send keeps the returned pointer to
+// annotate it — and are simply never recycled.
+//
+// The free list is capped: asymmetric patterns (hotspot) deliver more
+// packets at some nodes than they inject, and an uncapped list would
+// grow without bound there. A nil *Pool is valid and disables
+// recycling: Get allocates, Put discards — that is the default for raw
+// network.Config users, some of which retain delivered packets.
+type Pool struct {
+	free []*Packet
+	// overflow is the optional shared second tier: Put spills a batch
+	// there when the local list passes poolSpillMark, Get refills from
+	// there when it is empty.
+	overflow *SharedPool
+	// scratch is the reusable transfer buffer for spill batches.
+	scratch []*Packet
+}
+
+// poolCap bounds the per-NI free list. 256 packets absorb the
+// send/receive rate fluctuations of the symmetric synthetic patterns;
+// surplus spills to the shared tier (or the garbage collector).
+const poolCap = 256
+
+// poolSpillMark is the local length beyond which Put moves a batch to
+// the shared tier. Spilling at a watermark below the cap matters:
+// traffic with a chronic per-tile send/receive imbalance (path sharing
+// delivers hitchhiker payloads near, not at, their reserved
+// destination) makes some pools accumulate and others starve, and if
+// the accumulating side only shared its surplus at the hard cap it
+// would never reach, the starving side would allocate fresh packets
+// forever.
+const poolSpillMark = 96
+
+// poolBatch is how many packets move between a local list and the
+// shared tier per transfer, amortising the shared tier's lock.
+const poolBatch = 32
+
+// sharedCap bounds the shared overflow tier.
+const sharedCap = 4096
+
+// SharedPool is a mutex-guarded overflow tier shared by all per-NI
+// pools of one network. Traffic that migrates packets between tiles
+// asymmetrically (path sharing delivers hitchhiker payloads near, not
+// at, their reserved destination; hotspot concentrates deliveries)
+// slowly overfills some per-NI lists while starving others; without a
+// shared tier the overfull side drops packets to the GC while the
+// starved side allocates fresh ones, forever. The lock is uncontended
+// in practice: it is only touched on local-list overflow or underflow,
+// both rare once the packet population has stabilised.
+type SharedPool struct {
+	mu   sync.Mutex
+	free []*Packet
+}
+
+// NewSharedPool returns an empty shared overflow tier.
+func NewSharedPool() *SharedPool { return &SharedPool{} }
+
+// getBatch moves up to max packets from the shared tier into dst,
+// returning the extended slice.
+func (s *SharedPool) getBatch(dst []*Packet, max int) []*Packet {
+	if s == nil {
+		return dst
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := 0; i < max; i++ {
+		n := len(s.free) - 1
+		if n < 0 {
+			break
+		}
+		dst = append(dst, s.free[n])
+		s.free[n] = nil
+		s.free = s.free[:n]
+	}
+	return dst
+}
+
+// putBatch moves the packets in src into the shared tier (dropping the
+// overflow past sharedCap to the GC) and returns src truncated to
+// length zero with its slots cleared.
+func (s *SharedPool) putBatch(src []*Packet) []*Packet {
+	if s == nil {
+		return src
+	}
+	s.mu.Lock()
+	for _, pk := range src {
+		if len(s.free) >= sharedCap {
+			break
+		}
+		s.free = append(s.free, pk)
+	}
+	s.mu.Unlock()
+	for i := range src {
+		src[i] = nil
+	}
+	return src[:0]
+}
+
+// Free reports the shared tier's current length (for tests and
+// diagnostics).
+func (s *SharedPool) Free() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.free)
+}
+
+// poolPrewarm is the free-list stock each pool starts with. Injection
+// is bursty: a tile's pool can momentarily drain to empty while its
+// long-term send/receive balance is fine, and every such dip would
+// otherwise allocate a fresh packet. Starting above the observed dip
+// depth keeps the steady-state hot path allocation-free from the first
+// measured cycle instead of asymptotically.
+const poolPrewarm = 64
+
+// NewPool returns a pre-warmed pool. A non-nil overflow links the pool
+// into a shared second tier; nil keeps the pool standalone.
+func NewPool(overflow *SharedPool) *Pool {
+	p := &Pool{free: make([]*Packet, poolPrewarm, poolCap), overflow: overflow}
+	if overflow != nil {
+		p.scratch = make([]*Packet, 0, poolBatch)
+	}
+	for i := range p.free {
+		// Pre-size the embedded flit storage to ExplodeInto's rounding
+		// quantum so even a packet's first explosion allocates nothing.
+		p.free[i] = &Packet{store: make([]Flit, 0, 8), ptrs: make([]*Flit, 0, 8)}
+	}
+	return p
+}
+
+// Get returns a zeroed packet, recycling a free one when available.
+//
+// Which recycled object a caller receives depends on pool traffic and,
+// through the shared tier, on worker scheduling — but that can never
+// affect results: Put zeroes every field, so a recycled packet is
+// indistinguishable from a fresh allocation, and nothing in the
+// simulation keys on packet object identity.
+func (p *Pool) Get() *Packet {
+	if p == nil {
+		return &Packet{}
+	}
+	if len(p.free) == 0 && p.overflow != nil {
+		p.free = p.overflow.getBatch(p.free[:0], poolBatch)
+	}
+	if n := len(p.free) - 1; n >= 0 {
+		pk := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		return pk
+	}
+	return &Packet{}
+}
+
+// Put recycles a dead packet. The packet is zeroed here (keeping its
+// flit storage) so a recycled Get is indistinguishable from a fresh
+// allocation; stale flit values in the storage are harmless because
+// ExplodeInto rewrites every flit before the packet re-enters the
+// network.
+func (p *Pool) Put(pk *Packet) {
+	if p == nil || pk == nil {
+		return
+	}
+	store, ptrs := pk.store, pk.ptrs
+	*pk = Packet{store: store, ptrs: ptrs}
+	if len(p.free) >= poolCap {
+		return // standalone pool backstop (overflow pools spill below)
+	}
+	p.free = append(p.free, pk)
+	if p.overflow != nil && len(p.free) > poolSpillMark {
+		n := len(p.free) - poolBatch
+		p.scratch = append(p.scratch[:0], p.free[n:]...)
+		for i := n; i < len(p.free); i++ {
+			p.free[i] = nil
+		}
+		p.free = p.free[:n]
+		p.scratch = p.overflow.putBatch(p.scratch)
+	}
+}
+
+// Free reports the current free-list length (for tests and diagnostics).
+func (p *Pool) Free() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}

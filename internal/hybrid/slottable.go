@@ -130,6 +130,13 @@ type RouterTables struct {
 	in       [topology.NumPorts]*SlotTable
 	outBusy  [][topology.NumPorts]bool  // [slot][output port]
 	outGrace [][topology.NumPorts]int64 // grace deadline per slot/output
+	// outOwner[slot][out] is the input port whose reservation routes to
+	// out at slot — a reverse index making OutReservedAt O(1) instead of
+	// a scan over the input tables. It stays correct through a release's
+	// grace window: the grace rules forbid re-booking either the output
+	// or the owning input slot until both deadlines (set together)
+	// expire, so at most one input ever routes to an output in a slot.
+	outOwner [][topology.NumPorts]topology.Port
 	active   int
 
 	// ReserveCap is the maximum occupancy per input table; allocation is
@@ -149,6 +156,7 @@ func NewRouterTables(capacity, active int) *RouterTables {
 	}
 	rt.outBusy = make([][topology.NumPorts]bool, capacity)
 	rt.outGrace = make([][topology.NumPorts]int64, capacity)
+	rt.outOwner = make([][topology.NumPorts]topology.Port, capacity)
 	return rt
 }
 
@@ -183,12 +191,7 @@ func (rt *RouterTables) OutReservedAt(cycle int64, out topology.Port) (topology.
 	if !rt.outBusy[slot][out] && cycle >= rt.outGrace[slot][out] {
 		return 0, false
 	}
-	for p := topology.Port(0); p < topology.NumPorts; p++ {
-		if o, ok := rt.in[p].Lookup(slot, cycle); ok && o == out {
-			return p, true
-		}
-	}
-	return 0, false
+	return rt.outOwner[slot][out], true
 }
 
 // CanReserve reports whether dur consecutive slots starting at slot are
@@ -222,6 +225,7 @@ func (rt *RouterTables) Reserve(in, out topology.Port, slot, dur int, now int64)
 		s := (slot + i) % rt.active
 		rt.in[in].Set(s, out, now)
 		rt.outBusy[s][out] = true
+		rt.outOwner[s][out] = in
 	}
 	return true
 }
@@ -292,6 +296,7 @@ func (rt *RouterTables) Reset(newActive int) {
 	for i := range rt.outBusy {
 		rt.outBusy[i] = [topology.NumPorts]bool{}
 		rt.outGrace[i] = [topology.NumPorts]int64{}
+		rt.outOwner[i] = [topology.NumPorts]topology.Port{}
 	}
 	rt.active = newActive
 }

@@ -116,9 +116,9 @@ func (n *Network) checkInvariants(now int64) {
 // are folded in sorted-key order so the hash is independent of Go's
 // randomized map iteration.
 func (ni *NI) hashState(h *invariant.Hasher) {
-	h.Int(len(ni.psQ))
-	for _, p := range ni.psQ {
-		flit.HashPacket(h, p)
+	h.Int(ni.psQ.len())
+	for i := 0; i < ni.psQ.len(); i++ {
+		flit.HashPacket(h, ni.psQ.at(i))
 	}
 	h.Int(len(ni.cur))
 	for _, f := range ni.cur {
@@ -162,7 +162,7 @@ func (ni *NI) hashState(h *invariant.Hasher) {
 	}
 	h.Int(ni.csIdx)
 
-	hashNodeKeys(h, ni.pending, func(st *setupState) {
+	hashNodeKeys(h, ni.pending, func(st setupState) {
 		h.Int(int(st.dst))
 		h.Int(st.attempts)
 	})
@@ -228,8 +228,8 @@ func hashNodeKeys[V any](h *invariant.Hasher, m map[topology.NodeID]V, hashVal f
 // circuit-switched jobs, and the receive buffer. Configuration packets
 // are excluded to match the conservation counters.
 func (ni *NI) collectDataPackets(add func(id uint64)) {
-	for _, p := range ni.psQ {
-		if p.Kind == flit.DataPacket {
+	for i := 0; i < ni.psQ.len(); i++ {
+		if p := ni.psQ.at(i); p.Kind == flit.DataPacket {
 			add(p.ID)
 		}
 	}

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"tdmnoc/internal/flit"
 	"tdmnoc/internal/hybrid"
 	"tdmnoc/internal/invariant"
 	"tdmnoc/internal/power"
@@ -26,6 +27,10 @@ type Network struct {
 	// cfg.CheckInvariants).
 	checker *invariant.Checker
 
+	// sharedPool is the overflow tier behind every NI's packet free list
+	// (nil unless cfg.PoolMessages).
+	sharedPool *flit.SharedPool
+
 	resizer *hybrid.Resizer
 	// slotActive is the slot count the routers are actually using; it
 	// lags the resizer's decision by the drain window so NIs and routers
@@ -45,6 +50,9 @@ type EndpointFactory func(id topology.NodeID) Endpoint
 func New(cfg Config, mk EndpointFactory) *Network {
 	cfg.validate()
 	n := &Network{cfg: cfg, mesh: topology.NewMesh(cfg.Width, cfg.Height)}
+	if cfg.PoolMessages {
+		n.sharedPool = flit.NewSharedPool()
+	}
 
 	if cfg.Router.Hybrid && cfg.DynamicSlots {
 		n.resizer = hybrid.DefaultResizer(cfg.Router.SlotCapacity)
@@ -79,14 +87,17 @@ func New(cfg Config, mk EndpointFactory) *Network {
 		n.nis[id] = newNI(topology.NodeID(id), n, n.routers[id], master.Fork(), ep)
 	}
 
+	// Tickers are interleaved per tile (router_i, NI_i) and the executor
+	// aligns its chunk boundaries to that pair, so a parallel worker owns
+	// whole tiles — the router and NI of one tile share most of their
+	// working set (latches, local link, DLT events). Order within a phase
+	// is irrelevant for results: the phase contract (see sim.Phase)
+	// guarantees tickers touch disjoint state inside a phase.
 	tickers := make([]sim.Ticker, 0, 2*nodes)
-	for _, r := range n.routers {
-		tickers = append(tickers, r)
+	for id := 0; id < nodes; id++ {
+		tickers = append(tickers, n.routers[id], n.nis[id])
 	}
-	for _, ni := range n.nis {
-		tickers = append(tickers, ni)
-	}
-	n.exec = sim.NewExecutor(&n.clock, tickers, cfg.Workers)
+	n.exec = sim.NewExecutorAligned(&n.clock, tickers, cfg.Workers, 2)
 	if cfg.CheckInvariants {
 		n.checker = invariant.NewChecker(cfg.CheckInterval)
 	}
@@ -139,8 +150,13 @@ func (n *Network) Run(cycles int) {
 	}
 }
 
-// RunUntil steps until done reports true or limit cycles elapse.
+// RunUntil steps until done reports true or limit cycles elapse. Like
+// sim.Executor.RunUntil, a condition already satisfied at entry returns
+// (0, true) without running a cycle.
 func (n *Network) RunUntil(done func() bool, limit int) (int, bool) {
+	if done() {
+		return 0, true
+	}
 	for i := 0; i < limit; i++ {
 		n.Step()
 		if done() {

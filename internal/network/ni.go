@@ -98,10 +98,19 @@ func (c *circuit) blockBySlot(slot int) *circuitBlock {
 	return nil
 }
 
-// setupState tracks one in-flight path setup.
+// setupState tracks one in-flight path setup. It is stored by value in
+// ni.pending: setups are frequent enough under all-to-all traffic that
+// a per-attempt pointer allocation would dominate the steady-state
+// allocation profile.
 type setupState struct {
 	dst      topology.NodeID
 	attempts int
+}
+
+// setupPending reports whether a path setup toward dst is in flight.
+func (ni *NI) setupPending(dst topology.NodeID) bool {
+	_, ok := ni.pending[dst]
+	return ok
 }
 
 // csJob is a circuit-switched packet waiting for its time slot.
@@ -131,8 +140,12 @@ type NI struct {
 
 	Stats stats.Collector
 
+	// pool recycles packet objects (nil = recycling disabled; all of
+	// its methods are nil-safe). See flit.Pool for the ownership rules.
+	pool *flit.Pool
+
 	// Packet-switched injection.
-	psQ     []*flit.Packet
+	psQ     pktQueue
 	cur     []*flit.Flit
 	curIdx  int
 	curVC   int
@@ -143,11 +156,10 @@ type NI struct {
 	// Circuit-switched injection.
 	circuits    map[topology.NodeID]*circuit
 	circuitList []*circuit
-	csJobs      []*csJob
+	csJobs      []csJob
 	csCur       []*flit.Flit
 	csIdx       int
-	csJobMeta   *csJob
-	pending     map[topology.NodeID]*setupState
+	pending     map[topology.NodeID]setupState
 	hitchQueued map[topology.NodeID]int // queued hitchhike jobs per circuit destination
 	backoff     map[topology.NodeID]sim.Cycle
 	freq        map[topology.NodeID]int
@@ -177,11 +189,14 @@ func newNI(id topology.NodeID, net *Network, r *router.Router, rng *sim.RNG, ep 
 		credits:     make([]int, net.cfg.Router.VCs),
 		vcBusy:      make([]bool, net.cfg.Router.VCs),
 		circuits:    make(map[topology.NodeID]*circuit),
-		pending:     make(map[topology.NodeID]*setupState),
+		pending:     make(map[topology.NodeID]setupState),
 		hitchQueued: make(map[topology.NodeID]int),
 		backoff:     make(map[topology.NodeID]sim.Cycle),
 		freq:        make(map[topology.NodeID]int),
 		rxCount:     make(map[uint64]int),
+	}
+	if net.cfg.PoolMessages {
+		ni.pool = flit.NewPool(net.sharedPool)
 	}
 	for v := range ni.credits {
 		ni.credits[v] = net.cfg.Router.BufDepth
@@ -217,7 +232,7 @@ func (ni *NI) ReturnCredit(vc int) { ni.credits[vc]++ }
 
 // QueuedPackets reports the injection backlog (both PS and CS).
 func (ni *NI) QueuedPackets() int {
-	n := len(ni.psQ) + len(ni.csJobs)
+	n := ni.psQ.len() + len(ni.csJobs)
 	if ni.cur != nil {
 		n++
 	}
@@ -277,6 +292,13 @@ func (ni *NI) processRX(now sim.Cycle) {
 			continue
 		}
 		delete(ni.rxCount, pkt.ID)
+		// Tail consumption is the only point where a packet is provably
+		// unreachable by the rest of the simulation, and therefore the
+		// only safe recycle point: the source stream finished before the
+		// tail could arrive, every earlier flit of the packet was ejected
+		// before it (in-order, single path), and the rx bookkeeping for
+		// it was just cleared. Hop-off packets are not dead yet — they
+		// re-enter the injection queue below.
 		switch pkt.Kind {
 		case flit.DataPacket:
 			if pkt.HopOff && pkt.HopOffDst != ni.id {
@@ -289,11 +311,14 @@ func (ni *NI) processRX(now sim.Cycle) {
 			if ni.ep != nil {
 				ni.ep.OnDeliver(now, ni, pkt)
 			}
+			ni.pool.Put(pkt)
 		case flit.AckMsg:
 			ni.Stats.ConfigEjected++
 			ni.handleAck(now, pkt)
+			ni.pool.Put(pkt)
 		default: // teardown (or a stray setup) consumed here
 			ni.Stats.ConfigEjected++
+			ni.pool.Put(pkt)
 		}
 	}
 	ni.rx = ni.rx[:0]
@@ -310,7 +335,7 @@ func (ni *NI) reinjectHopOff(pkt *flit.Packet) {
 	pkt.HopOff = false
 	pkt.Switching = flit.PacketSwitched
 	pkt.Flits = pkt.PSFlits
-	ni.psQ = append(ni.psQ, pkt)
+	ni.psQ.pushBack(pkt)
 }
 
 // handleAck processes a setup acknowledgement (Section II-B).
@@ -328,7 +353,7 @@ func (ni *NI) handleAck(now sim.Cycle, pkt *flit.Packet) {
 	if pkt.Config.OK {
 		if existing := ni.circuits[dst]; existing != nil {
 			// An additional slot block for an oversubscribed connection.
-			if ni.pending[dst] == nil || len(existing.blocks) >= cfg.MaxBlocksPerCircuit {
+			if !ni.setupPending(dst) || len(existing.blocks) >= cfg.MaxBlocksPerCircuit {
 				ni.sendTeardown(dst, pkt.Config.BaseSlot, pkt.Config.Duration, pkt.Config.Epoch)
 				delete(ni.pending, dst)
 				return
@@ -339,7 +364,7 @@ func (ni *NI) handleAck(now sim.Cycle, pkt *flit.Packet) {
 			ni.setupResults = append(ni.setupResults, true)
 			return
 		}
-		if ni.pending[dst] == nil || len(ni.circuits) >= cfg.MaxCircuits {
+		if !ni.setupPending(dst) || len(ni.circuits) >= cfg.MaxCircuits {
 			// Unwanted reservation: release the whole path.
 			ni.sendTeardown(dst, pkt.Config.BaseSlot, pkt.Config.Duration, pkt.Config.Epoch)
 			delete(ni.pending, dst)
@@ -367,12 +392,13 @@ func (ni *NI) handleAck(now sim.Cycle, pkt *flit.Packet) {
 	if pkt.Config.FailHop > 0 {
 		ni.sendTeardownLimited(dst, pkt.Config.BaseSlot, pkt.Config.Duration, pkt.Config.Epoch, pkt.Config.FailHop)
 	}
-	st := ni.pending[dst]
-	if st == nil {
+	st, ok := ni.pending[dst]
+	if !ok {
 		return
 	}
 	st.attempts++
 	if !ni.net.csFrozen && st.attempts < cfg.RetrySetups {
+		ni.pending[dst] = st
 		ni.sendSetup(dst)
 		return
 	}
@@ -392,33 +418,40 @@ func (ni *NI) Send(now sim.Cycle, dst topology.NodeID, opt SendOptions) *flit.Pa
 	if opt.SizeFlits > 0 {
 		size = opt.SizeFlits
 	}
-	pkt := &flit.Packet{
-		ID:         ni.nextID(),
-		Kind:       flit.DataPacket,
-		Src:        ni.id,
-		Dst:        dst,
-		Class:      opt.Class,
-		Switching:  flit.PacketSwitched,
-		Flits:      size,
-		PSFlits:    size,
-		CreatedAt:  int64(now),
-		ReplyFlits: opt.ReplyFlits,
-		ReqID:      opt.ReqID,
-	}
 	if dst == ni.id {
 		// Loopback: deliver immediately without touching the network.
-		pkt.InjectedAt = int64(now)
-		pkt.EjectedAt = int64(now)
+		// Deliberately not pool-allocated — the caller keeps the returned
+		// pointer to annotate it (e.g. SlackHint), so the packet must not
+		// be handed out again by a reentrant Send from OnDeliver.
+		pkt := &flit.Packet{
+			ID: ni.nextID(), Kind: flit.DataPacket, Src: ni.id, Dst: dst,
+			Class: opt.Class, Switching: flit.PacketSwitched,
+			Flits: size, PSFlits: size,
+			CreatedAt: int64(now), InjectedAt: int64(now), EjectedAt: int64(now),
+			ReplyFlits: opt.ReplyFlits, ReqID: opt.ReqID,
+		}
 		if ni.ep != nil {
 			ni.ep.OnDeliver(now, ni, pkt)
 		}
 		return pkt
 	}
+	pkt := ni.pool.Get()
+	pkt.ID = ni.nextID()
+	pkt.Kind = flit.DataPacket
+	pkt.Src = ni.id
+	pkt.Dst = dst
+	pkt.Class = opt.Class
+	pkt.Switching = flit.PacketSwitched
+	pkt.Flits = size
+	pkt.PSFlits = size
+	pkt.CreatedAt = int64(now)
+	pkt.ReplyFlits = opt.ReplyFlits
+	pkt.ReqID = opt.ReqID
 	ni.TotalSent++
-	if job := ni.decide(now, pkt, opt); job != nil {
+	if job, ok := ni.decide(now, pkt, opt); ok {
 		ni.csJobs = append(ni.csJobs, job)
 	} else {
-		ni.psQ = append(ni.psQ, pkt)
+		ni.psQ.pushBack(pkt)
 	}
 	if opt.AllowCS {
 		ni.noteFrequency(now, dst)
@@ -430,10 +463,10 @@ func (ni *NI) Send(now sim.Cycle, dst topology.NodeID, opt SendOptions) *flit.Pa
 // circuit-switched path only when the estimated circuit latency (slot
 // wait + two cycles per hop) does not exceed the estimated
 // packet-switched latency plus the message's slack.
-func (ni *NI) decide(now sim.Cycle, pkt *flit.Packet, opt SendOptions) *csJob {
+func (ni *NI) decide(now sim.Cycle, pkt *flit.Packet, opt SendOptions) (csJob, bool) {
 	cfg := &ni.net.cfg
 	if !cfg.HybridSwitching || !opt.AllowCS || ni.net.csFrozen {
-		return nil
+		return csJob{}, false
 	}
 	slack := opt.Slack
 	if slack < 0 {
@@ -463,7 +496,7 @@ func (ni *NI) decide(now sim.Cycle, pkt *flit.Packet, opt SendOptions) *csJob {
 			c.blocks[bi].pending++
 			c.lastUsed = now
 			ni.Stats.OwnCircuitSends++
-			return &csJob{pkt: pkt, slot: c.blocks[bi].baseSlot, circuitDst: c.dst}
+			return csJob{pkt: pkt, slot: c.blocks[bi].baseSlot, circuitDst: c.dst}, true
 		}
 		// The connection exists but cannot carry this message in time:
 		// persistent overflow asks for another slot block.
@@ -472,10 +505,10 @@ func (ni *NI) decide(now sim.Cycle, pkt *flit.Packet, opt SendOptions) *csJob {
 			c.overflow = 0
 			ni.requestExtraBlock(now, pkt.Dst)
 		}
-		return nil
+		return csJob{}, false
 	}
 	if !cfg.Sharing || ni.dlt == nil {
-		return nil
+		return csJob{}, false
 	}
 	// Sharing rides detour through hop-off re-injection and composite
 	// queueing that the estimates below cannot see, so they are only
@@ -495,9 +528,9 @@ func (ni *NI) decide(now sim.Cycle, pkt *flit.Packet, opt SendOptions) *csJob {
 			pkt.Switching = flit.CircuitSwitched
 			pkt.Flits = csSize
 			ni.hitchQueued[e.Dest]++
-			return &csJob{pkt: pkt, slot: e.Slot, shareIn: e.In, hitchhike: true, circuitDst: e.Dest}
+			return csJob{pkt: pkt, slot: e.Slot, shareIn: e.In, hitchhike: true, circuitDst: e.Dest}, true
 		}
-		return nil
+		return csJob{}, false
 	}
 	// 3. Vicinity: an own circuit ending next to the destination.
 	for _, c := range ni.circuitList {
@@ -519,7 +552,7 @@ func (ni *NI) decide(now sim.Cycle, pkt *flit.Packet, opt SendOptions) *csJob {
 			c.blocks[bi].pending++
 			c.lastUsed = now
 			ni.Stats.VicinityRides++
-			return &csJob{pkt: pkt, slot: c.blocks[bi].baseSlot, circuitDst: c.dst}
+			return csJob{pkt: pkt, slot: c.blocks[bi].baseSlot, circuitDst: c.dst}, true
 		}
 	}
 	// 4. Hitchhike + vicinity: a passing circuit ending next to the
@@ -537,10 +570,10 @@ func (ni *NI) decide(now sim.Cycle, pkt *flit.Packet, opt SendOptions) *csJob {
 			pkt.Dst = e.Dest
 			ni.Stats.VicinityRides++
 			ni.hitchQueued[e.Dest]++
-			return &csJob{pkt: pkt, slot: e.Slot, shareIn: e.In, hitchhike: true, circuitDst: e.Dest}
+			return csJob{pkt: pkt, slot: e.Slot, shareIn: e.In, hitchhike: true, circuitDst: e.Dest}, true
 		}
 	}
-	return nil
+	return csJob{}, false
 }
 
 // slotWait is the number of cycles until a head flit injected now can
@@ -574,7 +607,7 @@ func (ni *NI) maybeSetup(now sim.Cycle, dst topology.NodeID) {
 	if !cfg.HybridSwitching || ni.net.csFrozen {
 		return
 	}
-	if ni.circuits[dst] != nil || ni.pending[dst] != nil {
+	if ni.circuits[dst] != nil || ni.setupPending(dst) {
 		return
 	}
 	if until, ok := ni.backoff[dst]; ok {
@@ -589,7 +622,7 @@ func (ni *NI) maybeSetup(now sim.Cycle, dst topology.NodeID) {
 			return
 		}
 	}
-	ni.pending[dst] = &setupState{dst: dst}
+	ni.pending[dst] = setupState{dst: dst}
 	ni.sendSetup(dst)
 }
 
@@ -625,13 +658,13 @@ func (ni *NI) teardownIdlest(now sim.Cycle) bool {
 // existing connection.
 func (ni *NI) requestExtraBlock(now sim.Cycle, dst topology.NodeID) {
 	cfg := &ni.net.cfg
-	if !cfg.HybridSwitching || ni.net.csFrozen || ni.pending[dst] != nil {
+	if !cfg.HybridSwitching || ni.net.csFrozen || ni.setupPending(dst) {
 		return
 	}
 	if until, ok := ni.backoff[dst]; ok && now < until {
 		return
 	}
-	ni.pending[dst] = &setupState{dst: dst}
+	ni.pending[dst] = setupState{dst: dst}
 	ni.sendSetup(dst)
 }
 
@@ -646,21 +679,20 @@ func (ni *NI) sendSetup(dst topology.NodeID) {
 	cfg := &ni.net.cfg
 	A := ni.net.ActiveSlots()
 	slot := ni.rng.Intn(A)
-	pkt := &flit.Packet{
-		ID:    ni.nextID(),
-		Kind:  flit.SetupMsg,
-		Src:   ni.id,
-		Dst:   dst,
-		Class: flit.ClassConfig,
-		Flits: 1,
-		Config: flit.ConfigPayload{
-			Slot: slot, BaseSlot: slot,
-			Duration: cfg.ReserveDuration(),
-			Epoch:    ni.net.epoch,
-		},
+	pkt := ni.pool.Get()
+	pkt.ID = ni.nextID()
+	pkt.Kind = flit.SetupMsg
+	pkt.Src = ni.id
+	pkt.Dst = dst
+	pkt.Class = flit.ClassConfig
+	pkt.Flits = 1
+	pkt.Config = flit.ConfigPayload{
+		Slot: slot, BaseSlot: slot,
+		Duration: cfg.ReserveDuration(),
+		Epoch:    ni.net.epoch,
 	}
 	// Configuration messages jump the data queue.
-	ni.psQ = append([]*flit.Packet{pkt}, ni.psQ...)
+	ni.psQ.pushFront(pkt)
 	ni.Stats.SetupsSent++
 	ni.Stats.ConfigFlitsSent++
 }
@@ -675,19 +707,18 @@ func (ni *NI) sendTeardown(dst topology.NodeID, baseSlot, dur, epoch int) {
 // reserved prefix of a failed setup without touching the slots that made
 // it fail (which belong to other circuits).
 func (ni *NI) sendTeardownLimited(dst topology.NodeID, baseSlot, dur, epoch, limit int) {
-	pkt := &flit.Packet{
-		ID:    ni.nextID(),
-		Kind:  flit.TeardownMsg,
-		Src:   ni.id,
-		Dst:   dst,
-		Class: flit.ClassConfig,
-		Flits: 1,
-		Config: flit.ConfigPayload{
-			Slot: baseSlot, BaseSlot: baseSlot, Duration: dur, Epoch: epoch,
-			FailHop: limit,
-		},
+	pkt := ni.pool.Get()
+	pkt.ID = ni.nextID()
+	pkt.Kind = flit.TeardownMsg
+	pkt.Src = ni.id
+	pkt.Dst = dst
+	pkt.Class = flit.ClassConfig
+	pkt.Flits = 1
+	pkt.Config = flit.ConfigPayload{
+		Slot: baseSlot, BaseSlot: baseSlot, Duration: dur, Epoch: epoch,
+		FailHop: limit,
 	}
-	ni.psQ = append([]*flit.Packet{pkt}, ni.psQ...)
+	ni.psQ.pushFront(pkt)
 	ni.Stats.TeardownsSent++
 	ni.Stats.ConfigFlitsSent++
 }
@@ -730,13 +761,14 @@ func (ni *NI) tryStartCS(now sim.Cycle) bool {
 	}
 	A := ni.net.ActiveSlots()
 	arrivalPhase := int(int64(now+1) % int64(A))
-	for i, job := range ni.csJobs {
+	for i := range ni.csJobs {
+		job := ni.csJobs[i]
 		if job.slot != arrivalPhase {
 			continue
 		}
-		if !ni.validateJob(job) {
+		if !ni.validateJob(&job) {
 			ni.removeJob(i)
-			ni.fallbackToPS(job)
+			ni.fallbackToPS(&job)
 			return false
 		}
 		if job.hitchhike && ni.r.IncomingCS(job.shareIn) {
@@ -751,7 +783,7 @@ func (ni *NI) tryStartCS(now sim.Cycle) bool {
 				}
 				ni.maybeSetup(now, target)
 			}
-			ni.fallbackToPS(job)
+			ni.fallbackToPS(&job)
 			return false
 		}
 		// Stream it.
@@ -768,7 +800,7 @@ func (ni *NI) tryStartCS(now sim.Cycle) bool {
 			ni.dlt.RecordSuccess(job.circuitDst)
 			ni.decHitchQueued(job.circuitDst)
 		}
-		fls := flit.Explode(job.pkt)
+		fls := job.pkt.ExplodeInto()
 		if job.hitchhike {
 			for _, f := range fls {
 				f.Hitchhike = true
@@ -777,7 +809,6 @@ func (ni *NI) tryStartCS(now sim.Cycle) bool {
 		}
 		ni.csCur = fls
 		ni.csIdx = 0
-		ni.csJobMeta = job
 		ni.stageCS(now)
 		return true
 	}
@@ -797,7 +828,6 @@ func (ni *NI) stageCS(now sim.Cycle) {
 	ni.csIdx++
 	if ni.csIdx >= len(ni.csCur) {
 		ni.csCur = nil
-		ni.csJobMeta = nil
 	}
 }
 
@@ -830,7 +860,7 @@ func (ni *NI) fallbackToPS(job *csJob) {
 	}
 	pkt.Switching = flit.PacketSwitched
 	pkt.Flits = pkt.PSFlits
-	ni.psQ = append(ni.psQ, pkt)
+	ni.psQ.pushBack(pkt)
 }
 
 func (ni *NI) decHitchQueued(dst topology.NodeID) {
@@ -840,7 +870,9 @@ func (ni *NI) decHitchQueued(dst topology.NodeID) {
 }
 
 func (ni *NI) removeJob(i int) {
-	ni.csJobs = append(ni.csJobs[:i], ni.csJobs[i+1:]...)
+	copy(ni.csJobs[i:], ni.csJobs[i+1:])
+	ni.csJobs[len(ni.csJobs)-1] = csJob{}
+	ni.csJobs = ni.csJobs[:len(ni.csJobs)-1]
 }
 
 func (ni *NI) stagePS(now sim.Cycle) {
@@ -858,7 +890,7 @@ func (ni *NI) stagePS(now sim.Cycle) {
 }
 
 func (ni *NI) tryStartPS(now sim.Cycle) {
-	if len(ni.psQ) == 0 {
+	if ni.psQ.len() == 0 {
 		return
 	}
 	limit := ni.r.LocalVCLimit()
@@ -871,9 +903,8 @@ func (ni *NI) tryStartPS(now sim.Cycle) {
 	if best < 0 {
 		return
 	}
-	pkt := ni.psQ[0]
-	ni.psQ = ni.psQ[1:]
-	fls := flit.Explode(pkt)
+	pkt := ni.psQ.popFront()
+	fls := pkt.ExplodeInto()
 	for _, f := range fls {
 		f.VC = best
 	}
@@ -895,16 +926,17 @@ func (ni *NI) tryStartPS(now sim.Cycle) {
 // pending setups are dropped. Called by the resize manager between
 // cycles, after the drain window has let in-flight CS flits land.
 func (ni *NI) onResize() {
-	for _, job := range ni.csJobs {
-		pkt := job.pkt
+	for i := range ni.csJobs {
+		pkt := ni.csJobs[i].pkt
 		if pkt.HopOff {
 			pkt.Dst = pkt.HopOffDst
 			pkt.HopOff = false
 		}
 		pkt.Switching = flit.PacketSwitched
 		pkt.Flits = pkt.PSFlits
-		ni.psQ = append(ni.psQ, pkt)
+		ni.psQ.pushBack(pkt)
 	}
+	clear(ni.csJobs)
 	ni.csJobs = ni.csJobs[:0]
 	clear(ni.circuits)
 	ni.circuitList = ni.circuitList[:0]

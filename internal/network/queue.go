@@ -1,0 +1,62 @@
+package network
+
+import "tdmnoc/internal/flit"
+
+// pktQueue is a growable ring buffer of packets. The NI's injection
+// queue needs O(1) pops at the front (one packet starts streaming per
+// packet-time) and the occasional queue-jumping push at the front
+// (configuration messages overtake data); the slice queue it replaces
+// reallocated on every front-push and held the popped prefix live. The
+// ring reuses one backing array for the life of the NI, which is what
+// keeps the steady-state injection path allocation-free.
+type pktQueue struct {
+	buf  []*flit.Packet
+	head int
+	n    int
+}
+
+func (q *pktQueue) len() int { return q.n }
+
+// at returns the i-th packet from the front (0 <= i < len). Used by the
+// invariant hash and the conservation walk, which must visit packets in
+// queue order to stay bit-compatible with the slice queue's iteration.
+func (q *pktQueue) at(i int) *flit.Packet {
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+func (q *pktQueue) grow() {
+	c := len(q.buf) * 2
+	if c == 0 {
+		c = 16
+	}
+	nb := make([]*flit.Packet, c)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.at(i)
+	}
+	q.buf, q.head = nb, 0
+}
+
+func (q *pktQueue) pushBack(p *flit.Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *pktQueue) pushFront(p *flit.Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+	q.buf[q.head] = p
+	q.n++
+}
+
+func (q *pktQueue) popFront() *flit.Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}

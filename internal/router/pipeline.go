@@ -162,7 +162,7 @@ func (r *Router) dataRoute(pkt *flit.Packet) topology.Port {
 	if pkt.Kind == flit.AckMsg && r.cfg.AdaptiveConfigRouting {
 		return routing.WestFirst(r.mesh, r.id, pkt.Dst, r.congestion)
 	}
-	return routing.XY(r.mesh, r.id, pkt.Dst)
+	return r.xyTo[pkt.Dst]
 }
 
 // congestion scores an output port for adaptive routing: fewer free
@@ -193,7 +193,7 @@ func (r *Router) processSetup(now sim.Cycle, p topology.Port, vc *inputVC, f *fl
 	case r.cfg.AdaptiveConfigRouting:
 		out = routing.WestFirst(r.mesh, r.id, pkt.Dst, r.congestion)
 	default:
-		out = routing.XY(r.mesh, r.id, pkt.Dst)
+		out = r.xyTo[pkt.Dst]
 	}
 	ok := r.tables != nil && cfgp.Epoch == r.Epoch &&
 		r.tables.Reserve(p, out, cfgp.Slot, cfgp.Duration, int64(now))
@@ -265,36 +265,50 @@ func (r *Router) processTeardown(now sim.Cycle, p topology.Port, vc *inputVC) {
 // how many routers successfully reserved, so the source's teardown can
 // walk exactly that prefix.
 func (r *Router) convertToAck(now sim.Cycle, vc *inputVC, f *flit.Flit, ok bool) {
-	orig := f.Pkt
-	f.Pkt = &flit.Packet{
-		ID:    orig.ID,
-		Kind:  flit.AckMsg,
-		Src:   r.id,
-		Dst:   orig.Src,
-		Class: flit.ClassConfig,
-		Flits: 1,
-		ReqID: orig.ID,
-		Config: flit.ConfigPayload{
-			Slot:       orig.Config.Slot,
-			BaseSlot:   orig.Config.BaseSlot,
-			Duration:   orig.Config.Duration,
-			Hop:        orig.Config.Hop,
-			OK:         ok,
-			FailHop:    orig.Config.Hop,
-			Epoch:      orig.Config.Epoch,
-			CircuitDst: orig.Dst,
-		},
-		CreatedAt:  int64(now),
-		InjectedAt: int64(now),
-	}
+	// The setup packet is mutated in place rather than replaced: the
+	// same object travels back to the requesting source, whose NI
+	// recycles it — a setup/ack round trip costs zero allocations. All
+	// untouched fields (Slot, BaseSlot, Duration, Hop, Epoch, Class,
+	// Flits, ID) already carry the values an ack needs. Order matters:
+	// CircuitDst must capture Dst before Dst is redirected to the source.
+	pkt := f.Pkt
+	pkt.Kind = flit.AckMsg
+	pkt.Config.CircuitDst = pkt.Dst
+	pkt.Dst = pkt.Src
+	pkt.Src = r.id
+	pkt.ReqID = pkt.ID
+	pkt.Config.OK = ok
+	pkt.Config.FailHop = pkt.Config.Hop
+	pkt.CreatedAt = int64(now)
+	pkt.InjectedAt = int64(now)
 	// Re-run route computation next cycle with the new destination.
 	vc.state = vcRouting
 	vc.ready = now + 1
 }
 
 // vcAllocate is the VA stage: a separable allocator that matches waiting
-// head packets to free downstream VCs, round-robin on both sides.
+// head packets to free downstream VCs, round-robin on both sides. The
+// fast path below skips the whole allocation sweep when no input VC is
+// waiting for a VC — by far the common case in a steady-state cycle —
+// without touching the arbitration order of the full sweep, which must
+// stay bit-identical (round-robin pointer movement is simulation state).
 func (r *Router) vcAllocate(now sim.Cycle) {
+	waiting := false
+	for p := range r.in {
+		for v := range r.in[p].vcs {
+			vc := &r.in[p].vcs[v]
+			if vc.state == vcVCAlloc && vc.ready <= now {
+				waiting = true
+				break
+			}
+		}
+		if waiting {
+			break
+		}
+	}
+	if !waiting {
+		return
+	}
 	n := int(topology.NumPorts) * r.cfg.VCs
 	for o := topology.Port(0); o < topology.NumPorts; o++ {
 		ou := &r.out[o]
@@ -303,7 +317,14 @@ func (r *Router) vcAllocate(now sim.Cycle) {
 		}
 		limit := r.allocLimit(o)
 		for i := 0; i < n; i++ {
-			idx := (ou.rrVA + i) % n
+			// ou.rrVA is re-read every iteration on purpose: a grant
+			// below advances it mid-scan, so the scan position jumps with
+			// it. rrVA stays in [0, n) and i < n, so one conditional
+			// subtract replaces the modulo.
+			idx := ou.rrVA + i
+			if idx >= n {
+				idx -= n
+			}
 			p := topology.Port(idx / r.cfg.VCs)
 			v := idx % r.cfg.VCs
 			vc := &r.in[p].vcs[v]
@@ -311,12 +332,18 @@ func (r *Router) vcAllocate(now sim.Cycle) {
 				continue
 			}
 			got := -1
+			// rrVC can exceed limit when VC power gating shrank the
+			// allocatable range since the last grant; normalize once.
+			ovc := ou.rrVC % limit
 			for j := 0; j < limit; j++ {
-				ovc := (ou.rrVC + j) % limit
+				if ovc >= limit {
+					ovc -= limit
+				}
 				if ou.vcFree[ovc] {
 					got = ovc
 					break
 				}
+				ovc++
 			}
 			if got < 0 {
 				break // no downstream VCs left at this output
@@ -363,6 +390,27 @@ func (r *Router) csBlocked(now sim.Cycle, o topology.Port) bool {
 // contention. Winners are read from their buffers into the ST registers
 // and credits return upstream.
 func (r *Router) switchAllocate(now sim.Cycle) bool {
+	// Fast path: if no input VC is active with a flit ready, the request
+	// phase below cannot produce a winner and the whole function is a
+	// no-op — skip the iSLIP iterations entirely. This is a superset test
+	// (credits, CS blocking and output conflicts only reduce the match
+	// further), so skipping cannot change results.
+	eligible := false
+	for p := range r.in {
+		for v := range r.in[p].vcs {
+			vc := &r.in[p].vcs[v]
+			if vc.state == vcActive && vc.ready <= now && !vc.empty() {
+				eligible = true
+				break
+			}
+		}
+		if eligible {
+			break
+		}
+	}
+	if !eligible {
+		return false
+	}
 	iters := r.cfg.SAIterations
 	if iters < 1 {
 		iters = 1
@@ -385,7 +433,12 @@ func (r *Router) switchAllocate(now sim.Cycle) bool {
 			iu := &r.in[p]
 			nv := r.cfg.VCs
 			for i := 0; i < nv; i++ {
-				v := (iu.rrVC + i) % nv
+				// iu.rrVC stays in [0, nv); one conditional subtract
+				// replaces the modulo.
+				v := iu.rrVC + i
+				if v >= nv {
+					v -= nv
+				}
 				vc := &iu.vcs[v]
 				if vc.state != vcActive || vc.ready > now || vc.empty() {
 					continue
@@ -416,7 +469,11 @@ func (r *Router) switchAllocate(now sim.Cycle) bool {
 				continue
 			}
 			for i := 0; i < np; i++ {
-				p := topology.Port((ou.rrIn + i) % np)
+				pi := ou.rrIn + i
+				if pi >= np {
+					pi -= np
+				}
+				p := topology.Port(pi)
 				vc := winners[p]
 				if vc == nil || vc.outPort != o || inputMatched[p] {
 					continue

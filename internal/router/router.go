@@ -6,6 +6,7 @@ import (
 	"tdmnoc/internal/flit"
 	"tdmnoc/internal/hybrid"
 	"tdmnoc/internal/power"
+	"tdmnoc/internal/routing"
 	"tdmnoc/internal/sim"
 	"tdmnoc/internal/topology"
 )
@@ -37,8 +38,15 @@ type Router struct {
 	csPending [topology.NumPorts]*flit.Flit
 
 	// pendingCredits collects credits produced this compute phase; the
-	// transfer phase delivers them upstream.
+	// transfer phase delivers them upstream. Preallocated to its maximum
+	// occupancy (one switch grant per input port per cycle) so the hot
+	// path never grows it.
 	pendingCredits []creditMsg
+
+	// xyTo[dst] is the precomputed X-Y output port toward every node —
+	// the RC stage's table lookup, replacing per-flit coordinate
+	// arithmetic.
+	xyTo []topology.Port
 
 	// Hybrid state (nil unless cfg.Hybrid).
 	tables *hybrid.RouterTables
@@ -83,9 +91,19 @@ func New(id topology.NodeID, m topology.Mesh, cfg Config) *Router {
 	r := &Router{
 		id: id, mesh: m, cfg: cfg,
 		activeVCs: cfg.VCs, pendingVCs: cfg.VCs, publishedVCLimit: cfg.VCs,
+		pendingCredits: make([]creditMsg, 0, topology.NumPorts),
+		xyTo:           make([]topology.Port, m.Nodes()),
+	}
+	for n := topology.NodeID(0); int(n) < m.Nodes(); n++ {
+		r.xyTo[n] = routing.XY(m, id, n)
 	}
 	for p := range r.in {
 		r.in[p].vcs = make([]inputVC, cfg.VCs)
+		for v := range r.in[p].vcs {
+			// Preallocate each VC queue to its credit-bounded maximum so
+			// push never grows it mid-simulation.
+			r.in[p].vcs[v].q = make([]*flit.Flit, 0, cfg.BufDepth)
+		}
 	}
 	for p := range r.out {
 		r.out[p].credits = make([]int, cfg.VCs)
@@ -98,6 +116,7 @@ func New(id topology.NodeID, m topology.Mesh, cfg Config) *Router {
 	r.out[topology.Local].connected = true
 	if cfg.Hybrid {
 		r.tables = hybrid.NewRouterTables(cfg.SlotCapacity, cfg.SlotActive)
+		r.dltEvents = make([]DLTEvent, 0, topology.NumPorts)
 	}
 	if cfg.LatencyVCGating {
 		r.latGate = hybrid.DefaultLatencyVCGate(cfg.VCs)

@@ -29,21 +29,33 @@ func XY(m topology.Mesh, cur, dst topology.NodeID) topology.Port {
 // dst (at most two on a mesh: one per dimension still needing correction).
 // An empty result means cur == dst.
 func MinimalCandidates(m topology.Mesh, cur, dst topology.NodeID) []topology.Port {
+	var buf [2]topology.Port
+	return buf[:minimalInto(m, cur, dst, &buf):2]
+}
+
+// minimalInto writes the productive ports into buf and returns how many
+// there are. The allocation-free core of MinimalCandidates, used by the
+// adaptive routing functions that run on the per-cycle hot path.
+func minimalInto(m topology.Mesh, cur, dst topology.NodeID, buf *[2]topology.Port) int {
 	cc, dc := m.Coord(cur), m.Coord(dst)
-	var out []topology.Port
+	n := 0
 	switch {
 	case dc.X > cc.X:
-		out = append(out, topology.East)
+		buf[n] = topology.East
+		n++
 	case dc.X < cc.X:
-		out = append(out, topology.West)
+		buf[n] = topology.West
+		n++
 	}
 	switch {
 	case dc.Y > cc.Y:
-		out = append(out, topology.South)
+		buf[n] = topology.South
+		n++
 	case dc.Y < cc.Y:
-		out = append(out, topology.North)
+		buf[n] = topology.North
+		n++
 	}
-	return out
+	return n
 }
 
 // CongestionFunc scores an output port; lower is less congested. Routers
@@ -57,16 +69,17 @@ type CongestionFunc func(p topology.Port) int
 // guaranteed ejection: config packets are consumed at every router they
 // sink at, so they cannot form buffer-wait cycles that persist.
 func MinimalAdaptive(m topology.Mesh, cur, dst topology.NodeID, congestion CongestionFunc) topology.Port {
-	cands := MinimalCandidates(m, cur, dst)
-	switch len(cands) {
+	var buf [2]topology.Port
+	n := minimalInto(m, cur, dst, &buf)
+	switch n {
 	case 0:
 		return topology.Local
 	case 1:
-		return cands[0]
+		return buf[0]
 	}
-	best := cands[0]
+	best := buf[0]
 	bestScore := congestion(best)
-	for _, c := range cands[1:] {
+	for _, c := range buf[1:n] {
 		if s := congestion(c); s < bestScore {
 			best, bestScore = c, s
 		}
@@ -83,21 +96,22 @@ func MinimalAdaptive(m topology.Mesh, cur, dst topology.NodeID, congestion Conge
 // combined channel dependency graph is acyclic and the network is
 // deadlock-free without dedicated escape VCs.
 func WestFirst(m topology.Mesh, cur, dst topology.NodeID, congestion CongestionFunc) topology.Port {
-	cands := MinimalCandidates(m, cur, dst)
-	for _, c := range cands {
+	var buf [2]topology.Port
+	n := minimalInto(m, cur, dst, &buf)
+	for _, c := range buf[:n] {
 		if c == topology.West {
 			return topology.West
 		}
 	}
-	switch len(cands) {
+	switch n {
 	case 0:
 		return topology.Local
 	case 1:
-		return cands[0]
+		return buf[0]
 	}
-	best := cands[0]
+	best := buf[0]
 	bestScore := congestion(best)
-	for _, c := range cands[1:] {
+	for _, c := range buf[1:n] {
 		if s := congestion(c); s < bestScore {
 			best, bestScore = c, s
 		}

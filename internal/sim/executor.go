@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"sync"
 )
@@ -16,6 +15,10 @@ type Executor struct {
 	tickers []Ticker
 
 	workers int
+	// chunks holds the precomputed [lo, hi) ticker ranges dispatched each
+	// phase, so the per-phase loop only stamps (now, phase) onto ready
+	// items instead of re-deriving the partition every cycle.
+	chunks []workItem
 	// wg and work are reused across cycles to avoid per-cycle allocation.
 	work chan workItem
 	wg   sync.WaitGroup
@@ -39,25 +42,50 @@ type workItem struct {
 // serial path; workers > 1 spawns that many goroutines which persist for
 // the executor's lifetime. Parallelism only pays off for large meshes
 // (>= 16x16); small networks should use workers == 1.
+//
+// The requested worker count is honored even beyond the machine's CPU
+// count (the goroutines just time-share): results are bit-identical for
+// any worker count, and tests that compare serial against parallel
+// executions rely on actually getting a parallel partition — a silent
+// clamp to NumCPU() on a single-CPU CI runner would turn those into
+// vacuous serial-vs-serial comparisons. The only cap is the ticker
+// count, below which extra workers could never receive work.
 func NewExecutor(clock *Clock, tickers []Ticker, workers int) *Executor {
+	return NewExecutorAligned(clock, tickers, workers, 1)
+}
+
+// NewExecutorAligned is NewExecutor with chunk boundaries rounded up to a
+// multiple of align. Callers whose ticker slice interleaves entities of
+// one tile (router then NI) pass the interleaving factor so a tile never
+// straddles two workers, keeping each worker's working set local.
+func NewExecutorAligned(clock *Clock, tickers []Ticker, workers, align int) *Executor {
 	if workers < 1 {
 		workers = 1
-	}
-	if workers > runtime.NumCPU() {
-		workers = runtime.NumCPU()
 	}
 	if workers > len(tickers) {
 		workers = max(1, len(tickers))
 	}
+	if align < 1 {
+		align = 1
+	}
 	e := &Executor{clock: clock, tickers: tickers, workers: workers}
 	if workers > 1 {
-		e.work = make(chan workItem, workers)
+		n := len(tickers)
+		chunk := (n + workers - 1) / workers
+		chunk = (chunk + align - 1) / align * align
+		for lo := 0; lo < n; lo += chunk {
+			e.chunks = append(e.chunks, workItem{lo: lo, hi: min(lo+chunk, n)})
+		}
+		e.work = make(chan workItem, len(e.chunks))
 		for i := 0; i < workers; i++ {
 			go e.worker()
 		}
 	}
 	return e
 }
+
+// Workers returns the effective worker count (>= 1).
+func (e *Executor) Workers() int { return e.workers }
 
 func (e *Executor) worker() {
 	for item := range e.work {
@@ -103,10 +131,16 @@ func (e *Executor) Run(n int) {
 	}
 }
 
-// RunUntil executes cycles until done reports true, checking after every
-// cycle, or until limit cycles have elapsed. It returns the number of
-// cycles executed and whether done was satisfied.
+// RunUntil executes cycles until done reports true, checking before the
+// first cycle and after every cycle, or until limit cycles have elapsed.
+// It returns the number of cycles executed and whether done was
+// satisfied. A condition that already holds at entry returns (0, true)
+// without stepping — running a gratuitous cycle would skew
+// packet-target-driven campaign measurements by one cycle.
 func (e *Executor) RunUntil(done func() bool, limit int) (cycles int, ok bool) {
+	if done() {
+		return 0, true
+	}
 	for i := 0; i < limit; i++ {
 		e.Step()
 		if done() {
@@ -125,18 +159,16 @@ func (e *Executor) Close() {
 }
 
 func (e *Executor) runPhase(now Cycle, phase Phase) {
-	n := len(e.tickers)
 	if e.workers <= 1 || e.work == nil {
-		for i := 0; i < n; i++ {
+		for i := range e.tickers {
 			e.tickers[i].Tick(now, phase)
 		}
 		return
 	}
-	chunk := (n + e.workers - 1) / e.workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := min(lo+chunk, n)
-		e.wg.Add(1)
-		e.work <- workItem{lo: lo, hi: hi, now: now, phase: phase}
+	e.wg.Add(len(e.chunks))
+	for _, c := range e.chunks {
+		c.now, c.phase = now, phase
+		e.work <- c
 	}
 	e.wg.Wait()
 	// Re-raise a worker panic on the caller's goroutine so per-job

@@ -284,6 +284,58 @@ func TestExecutorRunUntil(t *testing.T) {
 	}
 }
 
+// TestExecutorRunUntilAlreadyDone pins the contract that a condition
+// already satisfied at entry returns (0, true) without running a cycle:
+// RunUntil("drain") on an already-drained network must not advance time.
+func TestExecutorRunUntilAlreadyDone(t *testing.T) {
+	clock := &Clock{}
+	ct := &countingTicker{}
+	e := NewExecutor(clock, []Ticker{ct}, 1)
+	defer e.Close()
+	n, ok := e.RunUntil(func() bool { return true }, 100)
+	if !ok || n != 0 {
+		t.Fatalf("RunUntil on satisfied condition returned (%d,%v), want (0,true)", n, ok)
+	}
+	if clock.Now() != 0 || ct.computes != 0 {
+		t.Fatalf("RunUntil ran a cycle anyway: clock=%d computes=%d", clock.Now(), ct.computes)
+	}
+}
+
+// TestExecutorHonorsWorkerCount checks that the requested parallelism is
+// used as given (clamped only to [1, len(tickers)]), not silently capped
+// at runtime.NumCPU(): determinism regressions that only reproduce at
+// high worker counts must be reproducible on small CI machines.
+func TestExecutorHonorsWorkerCount(t *testing.T) {
+	clock := &Clock{}
+	ts := make([]Ticker, 64)
+	for i := range ts {
+		ts[i] = &countingTicker{}
+	}
+	e := NewExecutor(clock, ts, 48) // far above any CI runner's NumCPU
+	defer e.Close()
+	if got := e.Workers(); got != 48 {
+		t.Fatalf("Workers() = %d, want the requested 48", got)
+	}
+	e.Run(5)
+	for i, tk := range ts {
+		if c := tk.(*countingTicker).computes; c != 5 {
+			t.Fatalf("ticker %d ran %d computes, want 5", i, c)
+		}
+	}
+
+	// Out-of-range requests clamp to something sane rather than panic.
+	e2 := NewExecutor(&Clock{}, []Ticker{&countingTicker{}}, 0)
+	defer e2.Close()
+	if got := e2.Workers(); got != 1 {
+		t.Fatalf("Workers() for request 0 = %d, want 1", got)
+	}
+	e3 := NewExecutor(&Clock{}, []Ticker{&countingTicker{}, &countingTicker{}}, 99)
+	defer e3.Close()
+	if got := e3.Workers(); got != 2 {
+		t.Fatalf("Workers() above len(tickers) = %d, want 2", got)
+	}
+}
+
 func TestExecutorEmptyTickers(t *testing.T) {
 	clock := &Clock{}
 	e := NewExecutor(clock, nil, 8)

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 )
@@ -14,6 +15,7 @@ type Histogram struct {
 	buckets [64]int64
 	count   int64
 	sum     int64
+	min     int64
 	max     int64
 }
 
@@ -23,6 +25,9 @@ func (h *Histogram) Observe(v int64) {
 		v = 0
 	}
 	h.buckets[bucketOf(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
 	h.count++
 	h.sum += v
 	if v > h.max {
@@ -56,22 +61,38 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.count)
 }
 
+// Min returns the smallest observed sample (0 when empty).
+func (h *Histogram) Min() int64 { return h.min }
+
 // Max returns the largest observed sample.
 func (h *Histogram) Max() int64 { return h.max }
 
-// Percentile returns an upper bound for the p-th percentile (p in [0,1]):
-// the top of the bucket containing that rank. Returns 0 when empty.
+// Percentile returns an upper bound for the p-th percentile (p in [0,1])
+// under nearest-rank semantics: with n samples sorted ascending, the
+// p-th percentile is the sample at zero-based rank ceil(p*n)-1, and the
+// returned value is the top of the log2 bucket holding that rank,
+// clamped to the observed max. The boundary cases are pinned exactly:
+// Percentile(0) is the observed min, Percentile(1) is the observed max,
+// and out-of-range p is clamped to [0, 1]. Returns 0 when empty.
+//
+// The previous implementation computed the rank as int64(p*(count-1)),
+// which truncates toward zero and systematically lands one sample low
+// on exact percentile boundaries (e.g. p50 of 4 samples picked rank 1
+// of a 1.5 target); nearest-rank is the standard fix.
 func (h *Histogram) Percentile(p float64) int64 {
 	if h.count == 0 {
 		return 0
 	}
-	if p < 0 {
-		p = 0
+	if p <= 0 {
+		return h.min
 	}
-	if p > 1 {
-		p = 1
+	if p >= 1 {
+		return h.max
 	}
-	rank := int64(p * float64(h.count-1))
+	rank := int64(math.Ceil(p*float64(h.count))) - 1
+	if rank < 0 {
+		rank = 0
+	}
 	var seen int64
 	for i := range h.buckets {
 		seen += h.buckets[i]
@@ -90,6 +111,9 @@ func (h *Histogram) Percentile(p float64) int64 {
 func (h *Histogram) Merge(o *Histogram) {
 	for i := range h.buckets {
 		h.buckets[i] += o.buckets[i]
+	}
+	if o.count > 0 && (h.count == 0 || o.min < h.min) {
+		h.min = o.min
 	}
 	h.count += o.count
 	h.sum += o.sum

@@ -56,6 +56,83 @@ func TestHistogramPercentileBounds(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileBoundaries pins the nearest-rank semantics at
+// the boundaries that the old truncating rank got wrong: exact p0/p100,
+// the p50 of even-sized sets, and tail percentiles that must round up
+// to the max sample rather than down past it.
+func TestHistogramPercentileBoundaries(t *testing.T) {
+	// Samples are powers of two minus structure so every sample sits in
+	// its own log2 bucket: bucket tops are then exact sample values and
+	// the nearest-rank choice is observable, not hidden by bucket width.
+	cases := []struct {
+		name    string
+		samples []int64
+		p       float64
+		want    int64
+	}{
+		{"p0-is-min", []int64{4, 16, 64}, 0, 4},
+		{"p100-is-max", []int64{4, 16, 64}, 1, 64},
+		{"p-negative-clamps-to-min", []int64{4, 16, 64}, -0.5, 4},
+		{"p-above-one-clamps-to-max", []int64{4, 16, 64}, 1.5, 64},
+		{"single-sample-any-p", []int64{32}, 0.5, 32},
+		// n=2: p50 rank = ceil(0.5*2)-1 = 0 -> first sample. The old
+		// int64(0.5*1) also gave 0, but p75 must give rank 1.
+		{"two-samples-p50", []int64{4, 64}, 0.5, 7},
+		{"two-samples-p75", []int64{4, 64}, 0.75, 64},
+		// n=4: p25 rank = ceil(1)-1 = 0; old floor(0.25*3)=0 agrees, but
+		// p99 rank = ceil(3.96)-1 = 3 -> max, old floor(0.99*3)=2 -> one low.
+		{"four-samples-p25", []int64{2, 8, 32, 128}, 0.25, 3},
+		{"four-samples-p99-hits-max", []int64{2, 8, 32, 128}, 0.99, 128},
+		// n=1000-ish tail: p99.9 of 100 samples must be the max (rank
+		// ceil(99.9)-1 = 99), where truncation gave rank 98.
+		{"tail-rounds-up", nil, 0.999, 1 << 20},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			if tc.samples == nil {
+				for i := 0; i < 99; i++ {
+					h.Observe(1)
+				}
+				h.Observe(1 << 20)
+			} else {
+				for _, v := range tc.samples {
+					h.Observe(v)
+				}
+			}
+			if got := h.Percentile(tc.p); got != tc.want {
+				t.Fatalf("Percentile(%v) = %d, want %d", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistogramMinTracking(t *testing.T) {
+	var h Histogram
+	if h.Min() != 0 {
+		t.Fatal("empty histogram min not 0")
+	}
+	h.Observe(50)
+	h.Observe(10)
+	h.Observe(200)
+	if h.Min() != 10 {
+		t.Fatalf("min = %d, want 10", h.Min())
+	}
+	var o Histogram
+	o.Observe(3)
+	h.Merge(&o)
+	if h.Min() != 3 {
+		t.Fatalf("merged min = %d, want 3", h.Min())
+	}
+	// Merging into an empty histogram must adopt the source min even
+	// when it is larger than the zero value.
+	var e Histogram
+	e.Merge(&h)
+	if e.Min() != 3 {
+		t.Fatalf("merge-into-empty min = %d, want 3", e.Min())
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	var h Histogram
 	h.Observe(-5)
