@@ -12,8 +12,11 @@
 //
 // -quick shortens the warmup/measure windows for CI smoke use.
 // -strict exits nonzero when the steady-state hot path allocates (any
-// 6x6 scenario above zeroAllocBudget allocs/cycle) or when a
-// determinism digest mismatches — the CI regression gate.
+// 6x6 scenario above zeroAllocBudget allocs/cycle, with or without the
+// observability recorder attached) or when a determinism digest
+// mismatches — the CI regression gate. One scenario is re-run with
+// tracing enabled and its ns/cycle delta against the untraced baseline
+// is reported in the "traced" section.
 package main
 
 import (
@@ -29,13 +32,14 @@ import (
 
 // Report is the top-level JSON document.
 type Report struct {
-	Schema     string        `json:"schema"`
-	GoVersion  string        `json:"go_version"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Quick      bool          `json:"quick"`
-	GeneratedA string        `json:"generated_at"`
-	Scenarios  []Scenario    `json:"scenarios"`
-	Digests    []DigestCheck `json:"determinism"`
+	Schema     string           `json:"schema"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Quick      bool             `json:"quick"`
+	GeneratedA string           `json:"generated_at"`
+	Scenarios  []Scenario       `json:"scenarios"`
+	Traced     []TracedScenario `json:"traced"`
+	Digests    []DigestCheck    `json:"determinism"`
 }
 
 // Scenario is one measured configuration.
@@ -58,6 +62,25 @@ type Scenario struct {
 	// within zeroAllocBudget (amortised zero: only rare reconfiguration
 	// events may allocate, never the per-cycle pipeline).
 	HotPathZeroAlloc bool `json:"hot_path_zero_alloc"`
+}
+
+// TracedScenario measures one scenario with the observability recorder
+// attached: the per-cycle cost of tracing relative to the untraced
+// baseline, and whether the enabled path stayed allocation-free.
+type TracedScenario struct {
+	Name           string  `json:"name"`
+	TelemetryEvery int     `json:"telemetry_every"`
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	BaselineNs     float64 `json:"baseline_ns_per_cycle"`
+	// OverheadFraction is (traced - baseline) / baseline; small negative
+	// values are measurement noise.
+	OverheadFraction float64 `json:"overhead_fraction"`
+	AllocsPerCycle   float64 `json:"allocs_per_cycle"`
+	EventsPerCycle   float64 `json:"events_per_cycle"`
+	RingDrops        uint64  `json:"ring_drops"`
+	// TracedZeroAlloc reports whether the enabled path stayed within
+	// zeroAllocBudget — the "tracing on costs time, never garbage" gate.
+	TracedZeroAlloc bool `json:"traced_zero_alloc"`
 }
 
 // DigestCheck is one serial-vs-parallel determinism comparison.
@@ -148,6 +171,46 @@ func measure(sp spec, warmup, cycles int) Scenario {
 	}
 }
 
+// measureTraced re-runs a scenario with the observability recorder
+// attached and reports the per-cycle delta against the untraced
+// baseline. The ring is sized to wrap during the run, so the measured
+// window exercises the drop-oldest steady state, not an idle buffer.
+func measureTraced(sp spec, warmup, cycles int, baseline float64) TracedScenario {
+	const every = 64
+	cfg := specConfig(sp)
+	s := hsnoc.NewSynthetic(cfg, sp.pattern, sp.rate)
+	defer s.Close()
+	rec, err := s.AttachTelemetry(hsnoc.TelemetryOptions{Every: every, RingCapacity: 1 << 14})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	s.Warmup(warmup)
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	e0 := rec.Events()
+	t0 := time.Now()
+	s.Warmup(cycles)
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+
+	ns := float64(elapsed.Nanoseconds()) / float64(cycles)
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(cycles)
+	return TracedScenario{
+		Name:             sp.name,
+		TelemetryEvery:   every,
+		NsPerCycle:       ns,
+		BaselineNs:       baseline,
+		OverheadFraction: (ns - baseline) / baseline,
+		AllocsPerCycle:   allocs,
+		EventsPerCycle:   float64(rec.Events()-e0) / float64(cycles),
+		RingDrops:        rec.Dropped(),
+		TracedZeroAlloc:  allocs <= zeroAllocBudget,
+	}
+}
+
 // digestRun produces the rolling invariant digest of one checked run.
 func digestRun(sp spec, workers, cycles int) (uint64, bool) {
 	cfg := specConfig(sp)
@@ -204,6 +267,12 @@ func buildReport(quick bool) Report {
 			sc.Name, sc.NsPerCycle, sc.AllocsPerCycle, sc.BytesPerCycle)
 		r.Scenarios = append(r.Scenarios, sc)
 	}
+	// Tracing overhead: the fig4 TDM tornado scenario re-run with the
+	// recorder attached, compared against its untraced measurement above.
+	tr := measureTraced(specs[1], warmup, cycles, r.Scenarios[1].NsPerCycle)
+	fmt.Printf("%-26s %9.1f ns/cycle traced (%+.1f%% vs untraced)  %7.4f allocs/cycle  %5.1f events/cycle\n",
+		tr.Name+"+obs", tr.NsPerCycle, 100*tr.OverheadFraction, tr.AllocsPerCycle, tr.EventsPerCycle)
+	r.Traced = append(r.Traced, tr)
 	for _, sp := range specs[:3] { // digest checks cover the 6x6 set
 		d := checkDigest(sp, digestCycles)
 		fmt.Printf("%-26s serial=%s workers4=%s match=%v\n", d.Name, d.SerialDigest, d.Workers4, d.Match)
@@ -221,6 +290,12 @@ func strictViolations(r Report) []string {
 		if sc.Figure == "fig4" && !sc.HotPathZeroAlloc {
 			out = append(out, fmt.Sprintf("%s: %.4f allocs/cycle exceeds the zero-alloc budget %.2f",
 				sc.Name, sc.AllocsPerCycle, zeroAllocBudget))
+		}
+	}
+	for _, tr := range r.Traced {
+		if !tr.TracedZeroAlloc {
+			out = append(out, fmt.Sprintf("%s (traced): %.4f allocs/cycle exceeds the zero-alloc budget %.2f",
+				tr.Name, tr.AllocsPerCycle, zeroAllocBudget))
 		}
 	}
 	for _, d := range r.Digests {

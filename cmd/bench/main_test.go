@@ -26,6 +26,7 @@ func TestReportJSONSchema(t *testing.T) {
 		Quick:      true,
 		GeneratedA: "2000-01-01T00:00:00Z",
 		Scenarios:  []Scenario{measure(tinySpec, 200, 100)},
+		Traced:     []TracedScenario{measureTraced(tinySpec, 200, 100, 1000)},
 		Digests:    []DigestCheck{checkDigest(tinySpec, 200)},
 	}
 	data, err := json.Marshal(r)
@@ -67,6 +68,23 @@ func TestReportJSONSchema(t *testing.T) {
 		t.Errorf("ns_per_cycle = %v, want > 0", ns)
 	}
 
+	traced, ok := doc["traced"].([]any)
+	if !ok || len(traced) != 1 {
+		t.Fatalf("traced = %v, want one entry", doc["traced"])
+	}
+	tr := traced[0].(map[string]any)
+	for _, key := range []string{
+		"name", "telemetry_every", "ns_per_cycle", "baseline_ns_per_cycle",
+		"overhead_fraction", "allocs_per_cycle", "events_per_cycle", "ring_drops", "traced_zero_alloc",
+	} {
+		if _, ok := tr[key]; !ok {
+			t.Errorf("traced scenario missing key %q", key)
+		}
+	}
+	if ev := tr["events_per_cycle"].(float64); ev <= 0 {
+		t.Errorf("events_per_cycle = %v, want > 0 with the recorder attached", ev)
+	}
+
 	digests, ok := doc["determinism"].([]any)
 	if !ok || len(digests) != 1 {
 		t.Fatalf("determinism = %v, want one entry", doc["determinism"])
@@ -94,6 +112,7 @@ func TestStrictViolations(t *testing.T) {
 			{Name: "a", Figure: "fig4", HotPathZeroAlloc: true},
 			{Name: "b", Figure: "fig6", HotPathZeroAlloc: false}, // fig6 is informational
 		},
+		Traced:  []TracedScenario{{Name: "a", TracedZeroAlloc: true}},
 		Digests: []DigestCheck{{Name: "a", Match: true, InvariantsOK: true}},
 	}
 	if v := strictViolations(ok); len(v) != 0 {
@@ -102,9 +121,10 @@ func TestStrictViolations(t *testing.T) {
 
 	bad := ok
 	bad.Scenarios = []Scenario{{Name: "a", Figure: "fig4", AllocsPerCycle: 0.5}}
+	bad.Traced = []TracedScenario{{Name: "a", AllocsPerCycle: 0.7, TracedZeroAlloc: false}}
 	bad.Digests = []DigestCheck{{Name: "a", Match: false}}
-	if v := strictViolations(bad); len(v) != 3 {
-		t.Fatalf("violations = %v, want alloc + mismatch + invariant entries", v)
+	if v := strictViolations(bad); len(v) != 4 {
+		t.Fatalf("violations = %v, want alloc + traced-alloc + mismatch + invariant entries", v)
 	}
 }
 

@@ -55,6 +55,29 @@ func validateFlags(rate float64, warmup, cycles, packets, workers, slots int, he
 	return nil
 }
 
+// validateObsFlags rejects tracing/telemetry requests the simulator
+// cannot honour (probes run inside compute ticks, so they need a serial
+// executor, and neither the SDM baseline nor the heterogeneous driver
+// exposes the probe layer).
+func validateObsFlags(traceOut string, telemetryEvery int, mode hsnoc.Mode, workers int, hetero bool) error {
+	if traceOut == "" && telemetryEvery == 0 {
+		return nil
+	}
+	if telemetryEvery < 0 {
+		return fmt.Errorf("nocsim: negative -telemetry-every %d", telemetryEvery)
+	}
+	if hetero {
+		return fmt.Errorf("nocsim: -trace-out/-telemetry-every are not supported with -hetero")
+	}
+	if mode == hsnoc.HybridSDM {
+		return fmt.Errorf("nocsim: -trace-out/-telemetry-every are not available for sdm mode")
+	}
+	if workers > 1 {
+		return fmt.Errorf("nocsim: -trace-out/-telemetry-every require -workers 1")
+	}
+	return nil
+}
+
 func main() {
 	mode := flag.String("mode", "tdm", "switching mode: packet|tdm|sdm")
 	pattern := flag.String("pattern", "tornado", "traffic pattern: ur|tornado|transpose|bc|neighbor")
@@ -76,8 +99,10 @@ func main() {
 	hetero := flag.Bool("hetero", false, "run the heterogeneous system instead of synthetic traffic")
 	cpuB := flag.String("cpu", "EQUAKE", "CPU benchmark (hetero)")
 	gpuB := flag.String("gpu", "BLACKSCHOLES", "GPU benchmark (hetero)")
-	heatmap := flag.Bool("heatmap", false, "print a per-router utilisation heatmap after the run")
+	heatmap := flag.Bool("heatmap", false, "print per-router and per-link utilisation heatmaps after the run")
 	events := flag.String("events", "", "write a router-event trace to this file (serial runs only)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (Perfetto) JSON timeline to this file (serial packet/tdm runs only)")
+	telemetryEvery := flag.Int("telemetry-every", 0, "sample link/buffer/energy telemetry every N cycles and print time-series plots (serial packet/tdm runs only)")
 	configPath := flag.String("config", "", "load the network configuration from this JSON file (overrides structural flags)")
 	flag.Parse()
 
@@ -122,6 +147,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if err := validateObsFlags(*traceOut, *telemetryEvery, cfg.Mode, cfg.Workers, *hetero); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *hetero {
 		runHetero(cfg, *cpuB, *gpuB, *warmup, *cycles)
@@ -135,6 +164,21 @@ func main() {
 	}
 	s := hsnoc.NewSynthetic(cfg, p, *rate)
 	defer s.Close()
+	wantTelemetry := *traceOut != "" || *telemetryEvery > 0
+	if wantTelemetry || *heatmap {
+		opt := hsnoc.TelemetryOptions{Every: *telemetryEvery}
+		if *traceOut != "" {
+			// Full-fidelity timelines need headroom; the default ring is
+			// sized for summaries.
+			opt.RingCapacity = 1 << 19
+		}
+		if _, err := s.AttachTelemetry(opt); err != nil && wantTelemetry {
+			// -heatmap alone degrades gracefully to the per-router map
+			// (which needs no probe); explicit tracing flags do not.
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
@@ -182,11 +226,41 @@ func main() {
 		}
 		fmt.Printf("  invariants              clean, rolling digest %016x\n", s.RollingDigest())
 	}
+	if *telemetryEvery > 0 {
+		if out, err := s.RenderTelemetry(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		} else {
+			fmt.Println()
+			fmt.Print(out)
+		}
+	}
 	if *heatmap {
 		if grid := s.UtilizationGrid(); grid != nil {
 			fmt.Println()
 			fmt.Print(textplot.Heatmap("router utilisation", grid))
 		}
+		if out, err := s.RenderLinkHeatmap(); err == nil {
+			fmt.Println()
+			fmt.Print(out)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		werr := s.WriteTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		rec := s.Telemetry()
+		fmt.Printf("  trace                   %s (%d events recorded, %d dropped)\n",
+			*traceOut, rec.Ring().Len(), rec.Dropped())
 	}
 	d := s.Diagnose()
 	if d.MisroutedCS != 0 || d.DroppedCS != 0 || d.LatchConflicts != 0 {

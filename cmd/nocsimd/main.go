@@ -10,8 +10,10 @@
 //	curl -s localhost:8080/campaigns/<id>            # status + counters
 //	curl -s localhost:8080/campaigns/<id>/results    # records (add ?format=jsonl for raw lines)
 //	curl -s localhost:8080/campaigns/<id>/summary    # merged across seeds
+//	curl -s localhost:8080/campaigns/<id>/timeline   # per-job telemetry (specs with telemetry_every)
 //	curl -s -X POST localhost:8080/campaigns/<id>/cancel
-//	curl -s localhost:8080/metrics                   # Prometheus counters
+//	curl -s localhost:8080/metrics                   # Prometheus counters + setup-latency histogram
+//	curl -s localhost:8080/buildinfo                 # Go version, VCS revision of this binary
 //	go tool pprof localhost:8080/debug/pprof/profile # live CPU profile (-pprof=false to disable)
 //
 // SIGINT/SIGTERM drains gracefully: no new jobs start, in-flight jobs

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	"tdmnoc/internal/campaign"
+	"tdmnoc/internal/obs"
 )
 
 // server owns the campaign registry. Each submitted campaign gets its
@@ -85,8 +87,10 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /campaigns/{id}/summary", s.handleSummary)
+	mux.HandleFunc("GET /campaigns/{id}/timeline", s.handleTimeline)
 	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -272,6 +276,64 @@ func (s *server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rows)
 }
 
+// handleTimeline serves the per-job observability summaries of a
+// telemetry campaign (specs with telemetry_every set): one row per
+// record that carries a Summary. Campaigns run without telemetry
+// return an empty array.
+func (s *server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	c.mu.Lock()
+	recs := make([]campaign.Record, len(c.records))
+	copy(recs, c.records)
+	c.mu.Unlock()
+	if len(recs) == 0 {
+		recs = c.store.Records()
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Label < recs[j].Label })
+	}
+	type row struct {
+		Label     string       `json:"label"`
+		Key       string       `json:"key"`
+		Telemetry *obs.Summary `json:"telemetry"`
+	}
+	rows := make([]row, 0, len(recs))
+	for _, rec := range recs {
+		if rec.Telemetry == nil {
+			continue
+		}
+		rows = append(rows, row{Label: rec.Label, Key: rec.Key, Telemetry: rec.Telemetry})
+	}
+	writeJSON(w, http.StatusOK, rows)
+}
+
+// handleBuildInfo reports how this binary was built (Go version, module
+// version, VCS revision and dirty flag) from the info the linker embeds
+// — the first thing to check when a deployed daemon misbehaves.
+func (s *server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "binary carries no build info")
+		return
+	}
+	out := map[string]string{
+		"go":     bi.GoVersion,
+		"module": bi.Main.Path,
+	}
+	if bi.Main.Version != "" {
+		out["version"] = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision", "vcs.time", "vcs.modified", "GOARCH", "GOOS":
+			out[kv.Key] = kv.Value
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	c, ok := s.get(r.PathValue("id"))
 	if !ok {
@@ -287,6 +349,7 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	var total campaign.Status
+	var telem campaign.Telemetry
 	campaigns := len(s.campaigns)
 	running := 0
 	for _, c := range s.campaigns {
@@ -298,6 +361,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		total.CacheHits += st.CacheHits
 		total.CyclesSimulated += st.CyclesSimulated
 		total.Violations += st.Violations
+		tl := c.engine.Telemetry()
+		telem.Jobs += tl.Jobs
+		telem.SlotSteals += tl.SlotSteals
+		telem.SetupCount += tl.SetupCount
+		telem.SetupSum += tl.SetupSum
+		if telem.BucketLE == nil {
+			telem.BucketLE = tl.BucketLE
+			telem.Buckets = make([]uint64, len(tl.Buckets))
+		}
+		for i, b := range tl.Buckets {
+			telem.Buckets[i] += b
+		}
 		c.mu.Lock()
 		if c.State == "running" {
 			running++
@@ -305,6 +380,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		c.mu.Unlock()
 	}
 	s.mu.Unlock()
+	if telem.BucketLE == nil {
+		// No campaigns yet: emit the empty histogram with its full bucket
+		// schema so scrapers see a stable series set from the first scrape.
+		telem.BucketLE = obs.LatencyBuckets[:]
+		telem.Buckets = make([]uint64, len(obs.LatencyBuckets)+1)
+	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	fmt.Fprintf(w, "# HELP nocsimd_jobs_queued Jobs waiting for a worker.\n# TYPE nocsimd_jobs_queued gauge\nnocsimd_jobs_queued %d\n", total.Queued)
@@ -316,6 +397,18 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP nocsimd_invariant_violations Runtime invariant violations detected in checked jobs.\n# TYPE nocsimd_invariant_violations counter\nnocsimd_invariant_violations %d\n", total.Violations)
 	fmt.Fprintf(w, "# HELP nocsimd_campaigns_total Campaigns submitted since start.\n# TYPE nocsimd_campaigns_total counter\nnocsimd_campaigns_total %d\n", campaigns)
 	fmt.Fprintf(w, "# HELP nocsimd_campaigns_running Campaigns still executing.\n# TYPE nocsimd_campaigns_running gauge\nnocsimd_campaigns_running %d\n", running)
+	fmt.Fprintf(w, "# HELP nocsimd_jobs_inflight Jobs admitted but not finished (queued + running).\n# TYPE nocsimd_jobs_inflight gauge\nnocsimd_jobs_inflight %d\n", total.Queued+total.Running)
+	fmt.Fprintf(w, "# HELP nocsimd_telemetry_jobs Jobs run with per-job observability attached.\n# TYPE nocsimd_telemetry_jobs counter\nnocsimd_telemetry_jobs %d\n", telem.Jobs)
+	fmt.Fprintf(w, "# HELP nocsimd_slot_steals_total Time-slot steals observed by telemetry jobs.\n# TYPE nocsimd_slot_steals_total counter\nnocsimd_slot_steals_total %d\n", telem.SlotSteals)
+	fmt.Fprintf(w, "# HELP nocsimd_setup_latency_cycles Circuit setup round-trip latency observed by telemetry jobs.\n# TYPE nocsimd_setup_latency_cycles histogram\n")
+	cum := uint64(0)
+	for i, le := range telem.BucketLE {
+		cum += telem.Buckets[i]
+		fmt.Fprintf(w, "nocsimd_setup_latency_cycles_bucket{le=\"%d\"} %d\n", le, cum)
+	}
+	fmt.Fprintf(w, "nocsimd_setup_latency_cycles_bucket{le=\"+Inf\"} %d\n", telem.SetupCount)
+	fmt.Fprintf(w, "nocsimd_setup_latency_cycles_sum %d\n", telem.SetupSum)
+	fmt.Fprintf(w, "nocsimd_setup_latency_cycles_count %d\n", telem.SetupCount)
 }
 
 // drainAll tells every engine to stop launching jobs and waits (up to

@@ -264,3 +264,84 @@ func TestServiceCancelAndResume(t *testing.T) {
 			st2.Counters.CacheHits, finished)
 	}
 }
+
+// TestServiceBuildInfo: /buildinfo reports how the binary was built.
+func TestServiceBuildInfo(t *testing.T) {
+	s := newServer(t.TempDir(), 1, time.Minute)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	var bi map[string]string
+	getJSON(t, ts.URL+"/buildinfo", &bi)
+	if !strings.HasPrefix(bi["go"], "go") {
+		t.Errorf("buildinfo go = %q, want a go version", bi["go"])
+	}
+	if bi["module"] != "tdmnoc" {
+		t.Errorf("buildinfo module = %q, want tdmnoc", bi["module"])
+	}
+}
+
+// TestServiceTelemetryCampaign: a spec with telemetry_every yields a
+// /timeline with per-job summaries and feeds the inflight gauge, steal
+// counter and setup-latency histogram on /metrics.
+func TestServiceTelemetryCampaign(t *testing.T) {
+	s := newServer(t.TempDir(), 2, time.Minute)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	// The histogram schema must be present before any campaign runs.
+	if got := metric(t, ts, `nocsimd_setup_latency_cycles_bucket{le="+Inf"}`); got != 0 {
+		t.Errorf("empty-server setup histogram +Inf = %d, want 0", got)
+	}
+	if got := metric(t, ts, "nocsimd_jobs_inflight"); got != 0 {
+		t.Errorf("empty-server inflight = %d, want 0", got)
+	}
+
+	spec := `{
+	  "modes": ["tdm"], "patterns": ["tornado", "ur"],
+	  "meshes": [{"width": 4, "height": 4}],
+	  "rates": [0.10], "seeds": [1, 2],
+	  "warmup_cycles": 200, "measure_cycles": 1000,
+	  "telemetry_every": 64
+	}`
+	sub := postSpec(t, ts, spec)
+	id := sub["id"].(string)
+	st := waitDone(t, ts, id)
+	if st.State != "done" || st.Counters.Failed != 0 {
+		t.Fatalf("telemetry campaign did not finish clean: %+v", st)
+	}
+
+	var rows []struct {
+		Label     string          `json:"label"`
+		Telemetry json.RawMessage `json:"telemetry"`
+	}
+	getJSON(t, ts.URL+"/campaigns/"+id+"/timeline", &rows)
+	if len(rows) != 4 {
+		t.Fatalf("timeline rows = %d, want 4", len(rows))
+	}
+	for _, row := range rows {
+		var sum map[string]any
+		if err := json.Unmarshal(row.Telemetry, &sum); err != nil {
+			t.Fatalf("row %s telemetry: %v", row.Label, err)
+		}
+		if sum["injected"].(float64) == 0 || sum["events"].(float64) == 0 {
+			t.Errorf("row %s telemetry looks empty: %v", row.Label, sum)
+		}
+	}
+
+	if got := metric(t, ts, "nocsimd_telemetry_jobs"); got != 4 {
+		t.Errorf("nocsimd_telemetry_jobs = %d, want 4", got)
+	}
+	if got := metric(t, ts, "nocsimd_jobs_inflight"); got != 0 {
+		t.Errorf("nocsimd_jobs_inflight = %d after completion, want 0", got)
+	}
+	// Tornado at 0.10 establishes circuits, so setups must be observed
+	// and the +Inf bucket must equal the count.
+	count := metric(t, ts, "nocsimd_setup_latency_cycles_count")
+	if count == 0 {
+		t.Error("setup-latency histogram empty after a tdm telemetry campaign")
+	}
+	if inf := metric(t, ts, `nocsimd_setup_latency_cycles_bucket{le="+Inf"}`); inf != count {
+		t.Errorf("+Inf bucket %d != count %d", inf, count)
+	}
+}

@@ -4,6 +4,7 @@
 //	tracegen -pattern tornado -rate 0.15 -cycles 20000 -out tor.trace
 //	tracegen -info tor.trace
 //	tracegen -replay tor.trace -mode tdm
+//	tracegen -replay tor.trace -mode tdm -trace-out tor.perfetto.json
 package main
 
 import (
@@ -13,10 +14,31 @@ import (
 	"strings"
 
 	"tdmnoc/internal/network"
+	"tdmnoc/internal/obs"
 	"tdmnoc/internal/topology"
 	"tdmnoc/internal/trace"
 	"tdmnoc/internal/traffic"
 )
+
+// validateActions enforces that exactly one of the three actions was
+// requested: -out, -info and -replay each start a different workflow, so
+// a combined invocation is ambiguous (the old dispatcher silently
+// preferred -info and ignored the rest).
+func validateActions(out, info, replay string) error {
+	set := 0
+	for _, v := range []string{out, info, replay} {
+		if v != "" {
+			set++
+		}
+	}
+	switch {
+	case set == 0:
+		return fmt.Errorf("one of -out, -info or -replay is required")
+	case set > 1:
+		return fmt.Errorf("-out, -info and -replay are mutually exclusive; pass exactly one")
+	}
+	return nil
+}
 
 func main() {
 	pattern := flag.String("pattern", "tornado", "pattern for synthesis: ur|tornado|transpose|bc|neighbor|hotspot")
@@ -29,18 +51,21 @@ func main() {
 	info := flag.String("info", "", "print a summary of this trace file")
 	replay := flag.String("replay", "", "replay this trace file")
 	mode := flag.String("mode", "tdm", "replay network: packet|tdm")
+	traceOut := flag.String("trace-out", "", "with -replay: write a Chrome trace-event (Perfetto) JSON of the replay to this file")
 	flag.Parse()
 
+	if err := validateActions(*out, *info, *replay); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	switch {
 	case *info != "":
 		showInfo(*info)
 	case *replay != "":
-		runReplay(*replay, *mode)
-	case *out != "":
-		synthesize(*pattern, *rate, *width, *height, *cycles, *seed, *out)
+		runReplay(*replay, *mode, *traceOut)
 	default:
-		fmt.Fprintln(os.Stderr, "one of -out, -info or -replay is required")
-		os.Exit(2)
+		synthesize(*pattern, *rate, *width, *height, *cycles, *seed, *out)
 	}
 }
 
@@ -114,7 +139,7 @@ func showInfo(path string) {
 	}
 }
 
-func runReplay(path, mode string) {
+func runReplay(path, mode, traceOut string) {
 	tr := loadTrace(path)
 	var cfg network.Config
 	switch strings.ToLower(mode) {
@@ -134,6 +159,15 @@ func runReplay(path, mode string) {
 		return nil
 	})
 	defer net.Close()
+	var rec *obs.Recorder
+	if traceOut != "" {
+		rec = obs.NewRecorder(obs.RecorderConfig{
+			Nodes:        tr.Width * tr.Height,
+			RingCapacity: 1 << 19,
+			SampleEvery:  64,
+		})
+		net.AttachProbe(rec, 64)
+	}
 	net.EnableStats()
 	net.Run(int(tr.Duration()) + 10)
 	if !net.Drain(200000) {
@@ -149,4 +183,27 @@ func runReplay(path, mode string) {
 	fmt.Printf("  avg total latency %.1f cycles\n", tot)
 	fmt.Printf("  circuit-switched  %.1f%%\n", 100*st.CSFlitFraction())
 	fmt.Printf("  energy            %.2f uJ\n", e.TotalPJ()/1e6)
+	if rec != nil {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		meta := obs.TraceMeta{
+			Width: tr.Width, Height: tr.Height,
+			OtherData: map[string]string{
+				"mode":       mode,
+				"mesh":       fmt.Sprintf("%dx%d", tr.Width, tr.Height),
+				"source":     path,
+				"ring_drops": fmt.Sprintf("%d", rec.Dropped()),
+			},
+		}
+		if err := obs.WriteTrace(f, rec.Ring(), meta); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace             %s (%d events recorded, %d dropped)\n",
+			traceOut, rec.Events(), rec.Dropped())
+	}
 }

@@ -26,6 +26,7 @@ import (
 	"io"
 
 	"tdmnoc/internal/network"
+	"tdmnoc/internal/obs"
 	"tdmnoc/internal/power"
 	"tdmnoc/internal/router"
 	"tdmnoc/internal/sdm"
@@ -265,6 +266,11 @@ type Simulator struct {
 	gens []*traffic.Synthetic
 
 	sdmNet *sdm.Network
+
+	// rec is the attached observability recorder (nil = telemetry off);
+	// recEvery is its sampling interval. See telemetry.go.
+	rec      *obs.Recorder
+	recEvery int
 
 	measured int64
 }

@@ -1,0 +1,108 @@
+package hsnoc
+
+import (
+	"fmt"
+	"io"
+
+	"tdmnoc/internal/obs"
+	"tdmnoc/internal/textplot"
+)
+
+// TelemetryOptions sizes the observability recorder attached by
+// AttachTelemetry. Zero values pick defaults.
+type TelemetryOptions struct {
+	// Every closes a time-series window every K cycles (default 64;
+	// <= 0 keeps the default — use the event ring alone via WriteTrace).
+	Every int
+	// RingCapacity bounds the event timeline (default 1 << 16 events;
+	// raise it for full-fidelity Perfetto traces of longer runs).
+	RingCapacity int
+	// MaxSamples bounds the retained time-series windows (default 4096).
+	MaxSamples int
+}
+
+// AttachTelemetry creates an obs.Recorder sized by opt and attaches it
+// to the simulator's network. Call it before Warmup/Run; the recorder
+// then observes the rest of the simulation. Like TraceEvents it requires
+// a serial executor (Workers <= 1) and is not available for HybridSDM.
+func (s *Simulator) AttachTelemetry(opt TelemetryOptions) (*obs.Recorder, error) {
+	if s.net == nil {
+		return nil, fmt.Errorf("hsnoc: telemetry is not available for %v", s.mode)
+	}
+	if s.cfg.Workers > 1 {
+		return nil, fmt.Errorf("hsnoc: telemetry requires Workers <= 1")
+	}
+	if s.rec != nil {
+		return nil, fmt.Errorf("hsnoc: telemetry already attached")
+	}
+	every := opt.Every
+	if every <= 0 {
+		every = 64
+	}
+	rec := obs.NewRecorder(obs.RecorderConfig{
+		Nodes:        s.net.Mesh().Nodes(),
+		RingCapacity: opt.RingCapacity,
+		SampleEvery:  every,
+		MaxSamples:   opt.MaxSamples,
+	})
+	s.net.AttachProbe(rec, every)
+	s.rec = rec
+	s.recEvery = every
+	return rec, nil
+}
+
+// Telemetry returns the attached recorder (nil if AttachTelemetry was
+// never called).
+func (s *Simulator) Telemetry() *obs.Recorder { return s.rec }
+
+// LinkUtilizationGrid returns the per-link utilization heatmap grid
+// recorded by the attached telemetry: a (2H-1) x (2W-1) interleaved grid
+// of routers (ejection-link traffic) and inter-router links in
+// flits/cycle. Returns nil when no telemetry is attached.
+func (s *Simulator) LinkUtilizationGrid() [][]float64 {
+	if s.rec == nil || s.net == nil {
+		return nil
+	}
+	m := s.net.Mesh()
+	return obs.LinkGrid(s.rec, m.Width, m.Height, int64(s.net.Now()))
+}
+
+// WriteTrace exports the recorded event timeline as Chrome trace-event
+// JSON (Perfetto-loadable). Call after the run; requires an attached
+// telemetry recorder.
+func (s *Simulator) WriteTrace(w io.Writer) error {
+	if s.rec == nil {
+		return fmt.Errorf("hsnoc: no telemetry attached (call AttachTelemetry before the run)")
+	}
+	m := s.net.Mesh()
+	// No toolchain or timestamp metadata: the trace must be a pure
+	// function of (config, seed) so golden-file tests pin it.
+	meta := obs.TraceMeta{
+		Width: m.Width, Height: m.Height,
+		OtherData: map[string]string{
+			"mode":       s.mode.String(),
+			"mesh":       fmt.Sprintf("%dx%d", m.Width, m.Height),
+			"seed":       fmt.Sprintf("%d", s.cfg.Seed),
+			"ring_drops": fmt.Sprintf("%d", s.rec.Dropped()),
+		},
+	}
+	return obs.WriteTrace(w, s.rec.Ring(), meta)
+}
+
+// RenderTelemetry renders the recorded time-series windows as terminal
+// plots (CS/PS throughput and occupancy).
+func (s *Simulator) RenderTelemetry() (string, error) {
+	if s.rec == nil {
+		return "", fmt.Errorf("hsnoc: no telemetry attached")
+	}
+	return obs.RenderTimeSeries(s.rec.Samples(), s.recEvery)
+}
+
+// RenderLinkHeatmap renders the per-link utilization heatmap.
+func (s *Simulator) RenderLinkHeatmap() (string, error) {
+	grid := s.LinkUtilizationGrid()
+	if grid == nil {
+		return "", fmt.Errorf("hsnoc: no telemetry attached")
+	}
+	return textplot.Heatmap("link utilisation (flits/cycle; routers at even cells)", grid), nil
+}

@@ -1,0 +1,193 @@
+package hsnoc
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden Perfetto trace")
+
+// goldenSim runs the Fig.4-miniature scenario used by the golden trace:
+// uniform traffic at 0.35 on a 4x4 hybrid-TDM mesh — loaded enough to
+// exercise setups, acks, failures, teardowns and slot steals.
+func goldenSim(t *testing.T) *Simulator {
+	t.Helper()
+	cfg := DefaultConfig(4, 4)
+	cfg.Mode = HybridTDM
+	cfg.Seed = 1
+	s := NewSynthetic(cfg, UniformRandom, 0.35)
+	t.Cleanup(s.Close)
+	if _, err := s.AttachTelemetry(TelemetryOptions{Every: 64, RingCapacity: 1 << 19}); err != nil {
+		t.Fatalf("AttachTelemetry: %v", err)
+	}
+	s.Warmup(500)
+	s.Run(4000)
+	return s
+}
+
+// TestGoldenPerfettoTrace is the issue's acceptance test. The full
+// trace is tens of megabytes, so the golden file pins its SHA-256
+// digest instead of the bytes (regenerate with -update after an
+// intentional format change); the test additionally validates the
+// trace structurally: valid Chrome trace-event JSON, well-paired flow
+// events, in-range timestamps, and presence of the CS protocol events
+// (setup/ack/teardown) and slot steals.
+func TestGoldenPerfettoTrace(t *testing.T) {
+	s := goldenSim(t)
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if rec := s.Telemetry(); rec.Dropped() != 0 {
+		t.Fatalf("golden scenario dropped %d events — raise the ring capacity", rec.Dropped())
+	}
+
+	digest := fmt.Sprintf("%x %d\n", sha256.Sum256(buf.Bytes()), buf.Len())
+	golden := filepath.Join("testdata", "golden-trace.sha256")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(digest), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden digest (regenerate with `go test ./hsnoc -run Golden -update`): %v", err)
+	}
+	if string(want) != digest {
+		t.Errorf("trace digest changed:\n got %swant %s(intentional format changes: regenerate with -update)", digest, want)
+	}
+
+	var tf struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Name string `json:"name"`
+			ID   string `json:"id"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tf.OtherData["mode"] != "Hybrid-TDM" || tf.OtherData["mesh"] != "4x4" || tf.OtherData["ring_drops"] != "0" {
+		t.Errorf("otherData = %v", tf.OtherData)
+	}
+
+	maxTS := int64(4500) // warmup + run
+	counts := map[string]int{}
+	flow := map[string]int{} // id -> 0 unseen, 1 started, 2 finished
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue
+		case "s":
+			if flow[e.ID] != 0 {
+				t.Fatalf("duplicate flow start for %s", e.ID)
+			}
+			flow[e.ID] = 1
+		case "t", "f":
+			if flow[e.ID] != 1 {
+				t.Fatalf("flow %q for %s in state %d", e.Ph, e.ID, flow[e.ID])
+			}
+			if e.Ph == "f" {
+				flow[e.ID] = 2
+			}
+		}
+		counts[e.Name]++
+		if e.Ts < 0 || e.Ts > maxTS {
+			t.Fatalf("event %s at ts %d outside [0, %d]", e.Name, e.Ts, maxTS)
+		}
+	}
+	for _, name := range []string{"cs-setup", "cs-ack", "cs-teardown", "slot-steal", "cs-bypass", "inject", "eject", "lt"} {
+		if counts[name] == 0 {
+			t.Errorf("trace contains no %q events", name)
+		}
+	}
+}
+
+// TestTelemetryRestrictions: the attach preconditions fail loudly.
+func TestTelemetryRestrictions(t *testing.T) {
+	sdm := DefaultConfig(4, 4)
+	sdm.Mode = HybridSDM
+	s := NewSynthetic(sdm, Tornado, 0.05)
+	defer s.Close()
+	if _, err := s.AttachTelemetry(TelemetryOptions{}); err == nil {
+		t.Error("telemetry attached to an sdm simulator")
+	}
+
+	par := DefaultConfig(4, 4)
+	par.Mode = HybridTDM
+	par.Workers = 2
+	p := NewSynthetic(par, Tornado, 0.05)
+	defer p.Close()
+	if _, err := p.AttachTelemetry(TelemetryOptions{}); err == nil {
+		t.Error("telemetry attached with Workers > 1")
+	}
+
+	ok := DefaultConfig(4, 4)
+	ok.Mode = HybridTDM
+	q := NewSynthetic(ok, Tornado, 0.05)
+	defer q.Close()
+	if _, err := q.AttachTelemetry(TelemetryOptions{}); err != nil {
+		t.Fatalf("first attach failed: %v", err)
+	}
+	if _, err := q.AttachTelemetry(TelemetryOptions{}); err == nil {
+		t.Error("second attach accepted")
+	}
+}
+
+// TestTracedSteadyStateAllocFree pins the enabled-path allocation
+// guarantee end to end: with a recorder attached and the simulation in
+// steady state, stepping the network performs zero heap allocations per
+// window even as events stream into the ring.
+func TestTracedSteadyStateAllocFree(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	cfg.Mode = HybridTDM
+	cfg.Seed = 1
+	s := NewSynthetic(cfg, Tornado, 0.15)
+	defer s.Close()
+	// A small ring that wraps during the measurement: steady state must
+	// be allocation-free in the drop-oldest regime too.
+	if _, err := s.AttachTelemetry(TelemetryOptions{Every: 64, RingCapacity: 1 << 12, MaxSamples: 64}); err != nil {
+		t.Fatalf("AttachTelemetry: %v", err)
+	}
+	s.Warmup(2000)
+	if a := testing.AllocsPerRun(20, func() { s.net.Run(64) }); a != 0 {
+		t.Errorf("traced steady-state window allocates %.1f per 64 cycles, want 0", a)
+	}
+}
+
+// TestTelemetrySummaryDeterministic: two identical traced runs produce
+// byte-identical summaries (the property campaign stores rely on).
+func TestTelemetrySummaryDeterministic(t *testing.T) {
+	run := func() []byte {
+		cfg := DefaultConfig(4, 4)
+		cfg.Mode = HybridTDM
+		cfg.Seed = 7
+		s := NewSynthetic(cfg, Tornado, 0.12)
+		defer s.Close()
+		rec, err := s.AttachTelemetry(TelemetryOptions{Every: 64})
+		if err != nil {
+			t.Fatalf("AttachTelemetry: %v", err)
+		}
+		s.Warmup(500)
+		s.Run(2000)
+		b, err := json.Marshal(rec.Summary())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Error("telemetry summaries differ between identical runs")
+	}
+}

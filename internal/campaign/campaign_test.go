@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"tdmnoc/hsnoc"
+	"tdmnoc/internal/obs"
 	"tdmnoc/internal/sim"
 	"tdmnoc/internal/stats"
 )
@@ -229,9 +230,9 @@ func TestCampaignResume(t *testing.T) {
 // list simulate once.
 func TestEngineDedupsWithinRun(t *testing.T) {
 	var runs atomic.Int64
-	runner := func(ctx context.Context, j Job) (stats.RunRecord, error) {
+	runner := func(ctx context.Context, j Job) (stats.RunRecord, *obs.Summary, error) {
 		runs.Add(1)
-		return stats.RunRecord{Runs: 1, Cycles: int64(j.Measure), Packets: 1}, nil
+		return stats.RunRecord{Runs: 1, Cycles: int64(j.Measure), Packets: 1}, nil, nil
 	}
 	cfg := hsnoc.DefaultConfig(4, 4)
 	j := NewJob(cfg, hsnoc.Tornado, 0.1, 100, 200, "dup")
@@ -253,9 +254,9 @@ func TestEngineDedupsWithinRun(t *testing.T) {
 // TestEngineTimeoutAndCancel checks per-job timeout enforcement and
 // campaign-level cancellation.
 func TestEngineTimeoutAndCancel(t *testing.T) {
-	block := func(ctx context.Context, j Job) (stats.RunRecord, error) {
+	block := func(ctx context.Context, j Job) (stats.RunRecord, *obs.Summary, error) {
 		<-ctx.Done()
-		return stats.RunRecord{}, ctx.Err()
+		return stats.RunRecord{}, nil, ctx.Err()
 	}
 	cfg := hsnoc.DefaultConfig(4, 4)
 	j := NewJob(cfg, hsnoc.Tornado, 0.1, 0, 100, "block")
@@ -281,7 +282,7 @@ func TestEngineTimeoutAndCancel(t *testing.T) {
 // TestEnginePanicRecovery checks that a panicking job becomes a failed
 // record instead of crashing the campaign.
 func TestEnginePanicRecovery(t *testing.T) {
-	boom := func(ctx context.Context, j Job) (stats.RunRecord, error) {
+	boom := func(ctx context.Context, j Job) (stats.RunRecord, *obs.Summary, error) {
 		panic("simulated router invariant violation")
 	}
 	cfg := hsnoc.DefaultConfig(4, 4)
@@ -304,12 +305,12 @@ func TestEngineDrain(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var ran atomic.Int64
-	runner := func(ctx context.Context, j Job) (stats.RunRecord, error) {
+	runner := func(ctx context.Context, j Job) (stats.RunRecord, *obs.Summary, error) {
 		if ran.Add(1) == 1 {
 			close(started)
 			<-release
 		}
-		return stats.RunRecord{Runs: 1, Packets: 1}, nil
+		return stats.RunRecord{Runs: 1, Packets: 1}, nil, nil
 	}
 	cfg := hsnoc.DefaultConfig(4, 4)
 	var jobs []Job
@@ -448,8 +449,8 @@ func TestCheckedCampaignRunsClean(t *testing.T) {
 // TestEngineCountsViolations: a job failing with *hsnoc.ViolationError
 // must feed the engine's violation counter (and /metrics).
 func TestEngineCountsViolations(t *testing.T) {
-	bad := func(ctx context.Context, j Job) (stats.RunRecord, error) {
-		return stats.RunRecord{}, &hsnoc.ViolationError{Count: 5, Violations: []hsnoc.Violation{
+	bad := func(ctx context.Context, j Job) (stats.RunRecord, *obs.Summary, error) {
+		return stats.RunRecord{}, nil, &hsnoc.ViolationError{Count: 5, Violations: []hsnoc.Violation{
 			{Cycle: 3, Router: 1, Kind: "credit", Detail: "seeded"},
 		}}
 	}
@@ -478,7 +479,7 @@ func (explodingTicker) Tick(now sim.Cycle, phase sim.Phase) {
 // re-raised on the job goroutine, where the engine's recover turns it
 // into one failed record — the other job and the process survive.
 func TestEngineContainsExecutorWorkerPanic(t *testing.T) {
-	runner := func(ctx context.Context, j Job) (stats.RunRecord, error) {
+	runner := func(ctx context.Context, j Job) (stats.RunRecord, *obs.Summary, error) {
 		if j.Label == "boom" {
 			clock := &sim.Clock{}
 			ts := []sim.Ticker{explodingTicker{}, explodingTicker{}, explodingTicker{}, explodingTicker{}}
@@ -486,7 +487,7 @@ func TestEngineContainsExecutorWorkerPanic(t *testing.T) {
 			defer e.Close()
 			e.Run(10)
 		}
-		return stats.RunRecord{Runs: 1, Packets: 1}, nil
+		return stats.RunRecord{Runs: 1, Packets: 1}, nil, nil
 	}
 	cfg := hsnoc.DefaultConfig(4, 4)
 	jobs := []Job{
@@ -554,5 +555,95 @@ func TestRecordStableEncoding(t *testing.T) {
 	}
 	if !bytes.Equal(b1, b2) {
 		t.Errorf("encoding not stable across round trip:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestCampaignTelemetry: a spec with telemetry_every attaches per-job
+// observability — records carry a deterministic Summary, jobs are
+// re-keyed away from the plain campaign, and the engine aggregates the
+// per-job digests for /metrics.
+func TestCampaignTelemetry(t *testing.T) {
+	spec := Spec{
+		Modes:          []string{"tdm"},
+		Patterns:       []string{"tornado"},
+		Meshes:         []MeshSize{{Width: 4, Height: 4}},
+		Rates:          []float64{0.15},
+		WarmupCycles:   200,
+		MeasureCycles:  1000,
+		TelemetryEvery: 64,
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	plain := spec
+	plain.TelemetryEvery = 0
+	pjobs, err := plain.Expand()
+	if err != nil {
+		t.Fatalf("expand plain: %v", err)
+	}
+	if jobs[0].Key == pjobs[0].Key {
+		t.Error("telemetry job shares a cache key with the plain job")
+	}
+	if jobs[0].TelemetryEvery != 64 {
+		t.Errorf("TelemetryEvery = %d, want 64", jobs[0].TelemetryEvery)
+	}
+
+	eng := New(Options{Workers: 1})
+	recs := eng.Run(context.Background(), jobs)
+	if recs[0].Err != "" {
+		t.Fatalf("job failed: %s", recs[0].Err)
+	}
+	sum := recs[0].Telemetry
+	if sum == nil {
+		t.Fatal("record carries no telemetry summary")
+	}
+	if sum.Injected == 0 || sum.Ejected == 0 || sum.Events == 0 {
+		t.Errorf("telemetry summary looks empty: %+v", sum)
+	}
+	if len(sum.Samples) == 0 {
+		t.Error("telemetry summary has no time-series windows")
+	}
+	tl := eng.Telemetry()
+	if tl.Jobs != 1 {
+		t.Errorf("engine telemetry jobs = %d, want 1", tl.Jobs)
+	}
+	if tl.SetupCount != sum.SetupLatency.Total || tl.SlotSteals != sum.Steals {
+		t.Errorf("engine aggregate %+v does not match job summary (setups %d, steals %d)",
+			tl, sum.SetupLatency.Total, sum.Steals)
+	}
+	var bucketSum uint64
+	for _, c := range tl.Buckets {
+		bucketSum += c
+	}
+	if bucketSum != tl.SetupCount {
+		t.Errorf("bucket counts sum to %d, want %d", bucketSum, tl.SetupCount)
+	}
+}
+
+// TestSpecTelemetryValidation: telemetry conflicts fail loudly at
+// Normalize instead of producing per-job attach errors.
+func TestSpecTelemetryValidation(t *testing.T) {
+	base := Spec{
+		Modes:    []string{"tdm"},
+		Patterns: []string{"ur"},
+		Rates:    []float64{0.1},
+	}
+	neg := base
+	neg.TelemetryEvery = -1
+	if err := neg.Normalize(); err == nil {
+		t.Error("negative telemetry_every accepted")
+	}
+	par := base
+	par.TelemetryEvery = 64
+	par.SimWorkers = 2
+	if err := par.Normalize(); err == nil {
+		t.Error("telemetry with sim_workers 2 accepted")
+	}
+	sdm := base
+	sdm.TelemetryEvery = 64
+	sdm.Modes = []string{"sdm"}
+	if err := sdm.Normalize(); err == nil {
+		t.Error("telemetry with sdm mode accepted")
 	}
 }

@@ -11,12 +11,14 @@ import (
 	"time"
 
 	"tdmnoc/hsnoc"
+	"tdmnoc/internal/obs"
 	"tdmnoc/internal/stats"
 )
 
 // Runner executes one job. The default is Simulate; tests and the
-// experiment drivers may substitute their own.
-type Runner func(ctx context.Context, job Job) (stats.RunRecord, error)
+// experiment drivers may substitute their own. The returned Summary is
+// nil unless the job requested telemetry (Job.TelemetryEvery > 0).
+type Runner func(ctx context.Context, job Job) (stats.RunRecord, *obs.Summary, error)
 
 // Options configures an Engine.
 type Options struct {
@@ -47,6 +49,14 @@ type Engine struct {
 	cacheHits  atomic.Int64
 	cycles     atomic.Int64
 	violations atomic.Int64
+
+	// Telemetry aggregation across jobs run with WithTelemetry (cache
+	// hits do not contribute — only freshly simulated jobs).
+	telemJobs       atomic.Int64
+	telemSteals     atomic.Int64
+	telemSetupSum   atomic.Int64
+	telemSetupCount atomic.Uint64
+	telemBuckets    [len(obs.LatencyBuckets) + 1]atomic.Uint64
 
 	draining atomic.Bool
 }
@@ -84,6 +94,35 @@ func (e *Engine) Status() Status {
 		CyclesSimulated: e.cycles.Load(),
 		Violations:      e.violations.Load(),
 	}
+}
+
+// Telemetry is the engine-wide aggregate of per-job observability
+// summaries, in Prometheus-friendly shape: Buckets[i] counts setup
+// latencies <= BucketLE[i] cycles (non-cumulative; the last bucket is
+// the overflow above BucketLE's final bound).
+type Telemetry struct {
+	Jobs       int64    `json:"jobs_with_telemetry"`
+	SlotSteals int64    `json:"slot_steals"`
+	SetupCount uint64   `json:"setup_count"`
+	SetupSum   int64    `json:"setup_latency_sum_cycles"`
+	BucketLE   []int64  `json:"bucket_le"`
+	Buckets    []uint64 `json:"setup_latency_buckets"`
+}
+
+// Telemetry snapshots the aggregated observability counters.
+func (e *Engine) Telemetry() Telemetry {
+	t := Telemetry{
+		Jobs:       e.telemJobs.Load(),
+		SlotSteals: e.telemSteals.Load(),
+		SetupCount: e.telemSetupCount.Load(),
+		SetupSum:   e.telemSetupSum.Load(),
+		BucketLE:   append([]int64(nil), obs.LatencyBuckets[:]...),
+		Buckets:    make([]uint64, len(e.telemBuckets)),
+	}
+	for i := range e.telemBuckets {
+		t.Buckets[i] = e.telemBuckets[i].Load()
+	}
+	return t
 }
 
 // Drain stops the engine from starting new jobs; in-flight jobs run to
@@ -195,7 +234,7 @@ func (e *Engine) runOne(ctx context.Context, j Job) (rec Record) {
 		jctx, cancel = context.WithTimeout(ctx, e.timeout)
 		defer cancel()
 	}
-	res, err := e.runner(jctx, j)
+	res, sum, err := e.runner(jctx, j)
 	if err != nil {
 		var ve *hsnoc.ViolationError
 		if errors.As(err, &ve) {
@@ -205,5 +244,15 @@ func (e *Engine) runOne(ctx context.Context, j Job) (rec Record) {
 		return rec
 	}
 	rec.Result = res
+	if sum != nil {
+		rec.Telemetry = sum
+		e.telemJobs.Add(1)
+		e.telemSteals.Add(sum.Steals)
+		e.telemSetupSum.Add(sum.SetupLatency.Sum)
+		e.telemSetupCount.Add(sum.SetupLatency.Total)
+		for i, c := range sum.SetupLatency.Counts {
+			e.telemBuckets[i].Add(c)
+		}
+	}
 	return rec
 }

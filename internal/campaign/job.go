@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"tdmnoc/hsnoc"
+	"tdmnoc/internal/obs"
 	"tdmnoc/internal/stats"
 )
 
@@ -27,6 +28,10 @@ type Job struct {
 	Rate        float64
 	// Warmup and Measure are the region lengths in cycles.
 	Warmup, Measure int
+	// TelemetryEvery, when positive, attaches a per-job observability
+	// recorder sampling every K cycles; its Summary rides in the record.
+	// Set it through WithTelemetry so the cache key reflects it.
+	TelemetryEvery int
 }
 
 // NewJob builds a job and computes its cache key. It is the bridge for
@@ -45,6 +50,21 @@ func NewJob(cfg hsnoc.Config, pattern hsnoc.Pattern, rate float64, warmup, measu
 		Warmup:      warmup,
 		Measure:     measure,
 	}
+}
+
+// WithTelemetry returns a copy of the job with per-job telemetry
+// enabled at the given sampling interval (cycles). Telemetry changes
+// what the record carries, so the job is re-keyed: a cached record
+// without telemetry is not interchangeable with one that has it. A
+// non-positive interval returns the job unchanged.
+func (j Job) WithTelemetry(every int) Job {
+	if every <= 0 {
+		return j
+	}
+	j.TelemetryEvery = every
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s|telemetry%d", j.Key, every)))
+	j.Key = hex.EncodeToString(sum[:])
+	return j
 }
 
 // Record is one job's persisted result — one JSONL line in the result
@@ -66,6 +86,11 @@ type Record struct {
 	Measure int     `json:"measure"`
 
 	Result stats.RunRecord `json:"result"`
+	// Telemetry is the observability digest of jobs run with
+	// WithTelemetry; like Result it is timestamp-free, so telemetry-
+	// bearing stores stay byte-identical between serial and parallel
+	// campaign runs.
+	Telemetry *obs.Summary `json:"telemetry,omitempty"`
 	// Err is set when the job failed (timeout, cancellation, panic);
 	// failed records are returned to the caller but never persisted,
 	// so a resumed campaign retries them.

@@ -4,30 +4,45 @@ import (
 	"context"
 
 	"tdmnoc/hsnoc"
+	"tdmnoc/internal/obs"
 	"tdmnoc/internal/stats"
 )
 
 // Simulate is the default Runner: it builds the simulator for the job,
 // warms it up, measures, and converts the results into a mergeable
-// record. The simulator (and its executor worker pool, if any) is
-// always released, including on cancellation and panic paths.
-func Simulate(ctx context.Context, j Job) (stats.RunRecord, error) {
+// record. Jobs built with WithTelemetry additionally attach an
+// observability recorder and return its Summary. The simulator (and
+// its executor worker pool, if any) is always released, including on
+// cancellation and panic paths.
+func Simulate(ctx context.Context, j Job) (stats.RunRecord, *obs.Summary, error) {
 	s := hsnoc.NewSynthetic(j.Config, j.Pattern, j.Rate)
 	defer s.Close()
+	var rec *obs.Recorder
+	if j.TelemetryEvery > 0 {
+		var err error
+		rec, err = s.AttachTelemetry(hsnoc.TelemetryOptions{Every: j.TelemetryEvery})
+		if err != nil {
+			return stats.RunRecord{}, nil, err
+		}
+	}
 	if err := s.WarmupContext(ctx, j.Warmup); err != nil {
-		return stats.RunRecord{}, err
+		return stats.RunRecord{}, nil, err
 	}
 	res, err := s.RunContext(ctx, j.Measure)
 	if err != nil {
-		return stats.RunRecord{}, err
+		return stats.RunRecord{}, nil, err
+	}
+	var sum *obs.Summary
+	if rec != nil {
+		sum = rec.Summary()
 	}
 	// With Config.CheckInvariants set, a run that tripped the checker is
 	// a failure: the record is returned for inspection but the error
 	// keeps the engine from persisting (and thus caching) corrupt data.
 	if err := s.InvariantError(); err != nil {
-		return FromResults(res), err
+		return FromResults(res), sum, err
 	}
-	return FromResults(res), nil
+	return FromResults(res), sum, nil
 }
 
 // FromResults converts an hsnoc measurement into the sum-form mergeable

@@ -66,6 +66,12 @@ type Spec struct {
 	// results are identical for any value, so it is not a grid axis and
 	// does not enter cache keys).
 	SimWorkers int `json:"sim_workers,omitempty"`
+	// TelemetryEvery, when positive, attaches a per-job observability
+	// recorder sampling every K cycles; its deterministic Summary rides
+	// in every record (telemetry_every re-keys jobs, so telemetry and
+	// plain campaigns never share cached records). Requires SimWorkers
+	// <= 1 and is not available for sdm mode.
+	TelemetryEvery int `json:"telemetry_every,omitempty"`
 	// CheckInvariants enables the runtime invariant layer on every job.
 	// Checking only observes a run (it never changes results), so like
 	// SimWorkers it does not enter cache keys; jobs whose checked run
@@ -133,9 +139,19 @@ func (s *Spec) Normalize() error {
 	if s.WarmupCycles < 0 || s.MeasureCycles <= 0 {
 		return fmt.Errorf("campaign: warmup %d / measure %d cycles invalid", s.WarmupCycles, s.MeasureCycles)
 	}
+	if s.TelemetryEvery < 0 {
+		return fmt.Errorf("campaign: telemetry_every %d negative", s.TelemetryEvery)
+	}
+	if s.TelemetryEvery > 0 && s.SimWorkers > 1 {
+		return fmt.Errorf("campaign: telemetry requires sim_workers <= 1")
+	}
 	for _, m := range s.Modes {
-		if _, err := ParseMode(m); err != nil {
+		mode, err := ParseMode(m)
+		if err != nil {
 			return err
+		}
+		if s.TelemetryEvery > 0 && mode == hsnoc.HybridSDM {
+			return fmt.Errorf("campaign: telemetry is not available for sdm mode")
 		}
 	}
 	for _, p := range s.Patterns {
@@ -230,7 +246,11 @@ func (s Spec) Expand() ([]Job, error) {
 								return nil, err
 							}
 							label := fmt.Sprintf("%v/%v/%dx%d/r%.3f/seed%d", mode, pat, mesh.Width, mesh.Height, rate, seed)
-							jobs = append(jobs, NewJob(cfg, pat, rate, s.WarmupCycles, s.MeasureCycles, label))
+							j := NewJob(cfg, pat, rate, s.WarmupCycles, s.MeasureCycles, label)
+							if s.TelemetryEvery > 0 {
+								j = j.WithTelemetry(s.TelemetryEvery)
+							}
+							jobs = append(jobs, j)
 						}
 					}
 				}

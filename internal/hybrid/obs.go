@@ -1,0 +1,15 @@
+package hybrid
+
+import "tdmnoc/internal/obs"
+
+// SampleTables emits a slot-table occupancy gauge for one router's
+// tables: Val = reserved entries across all input ports, Slot = the
+// active (powered) region size. Called by the network's periodic
+// telemetry pass; p must be non-nil.
+func SampleTables(p obs.Probe, now int64, node int, t *RouterTables) {
+	if t == nil {
+		return
+	}
+	p.Emit(obs.Event{Cycle: now, Kind: obs.KindSlotOccupancy,
+		Node: int32(node), Val: int64(t.ReservedEntries()), Slot: int32(t.Active())})
+}

@@ -1,5 +1,7 @@
 package hybrid
 
+import "tdmnoc/internal/obs"
+
 // VCGate implements the aggressive VC power gating policy of
 // Section III-B: the number of active virtual channels is periodically
 // adjusted by comparing measured VC utilisation against two thresholds.
@@ -164,7 +166,15 @@ type Resizer struct {
 	active       int
 	consecFails  int
 	resizeEvents int
+
+	// probe, when non-nil, receives a KindSlotResize event on every
+	// doubling (Node = -1: the policy is network-wide).
+	probe obs.Probe
 }
+
+// SetProbe installs (or, with nil, removes) the resizer's observability
+// probe.
+func (r *Resizer) SetProbe(p obs.Probe) { r.probe = p }
 
 // DefaultResizer starts at capacity/8 (at least 8 slots) and doubles after
 // 16 consecutive failures.
@@ -192,6 +202,12 @@ func (r *Resizer) ResizeEvents() int { return r.resizeEvents }
 // (newActive, true) when the active size just doubled; the caller must
 // then reset every slot table, DLT and connection registry in the network.
 func (r *Resizer) RecordSetupResult(ok bool) (int, bool) {
+	return r.RecordSetupResultAt(ok, 0)
+}
+
+// RecordSetupResultAt is RecordSetupResult with the current cycle, so an
+// attached probe can timestamp the resize event.
+func (r *Resizer) RecordSetupResultAt(ok bool, now int64) (int, bool) {
 	if ok {
 		r.consecFails = 0
 		return r.active, false
@@ -201,6 +217,10 @@ func (r *Resizer) RecordSetupResult(ok bool) (int, bool) {
 		r.active = min(r.active*2, r.Capacity)
 		r.consecFails = 0
 		r.resizeEvents++
+		if r.probe != nil {
+			r.probe.Emit(obs.Event{Cycle: now, Kind: obs.KindSlotResize,
+				Node: -1, Val: int64(r.active)})
+		}
 		return r.active, true
 	}
 	return r.active, false

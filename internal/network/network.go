@@ -4,6 +4,7 @@ import (
 	"tdmnoc/internal/flit"
 	"tdmnoc/internal/hybrid"
 	"tdmnoc/internal/invariant"
+	"tdmnoc/internal/obs"
 	"tdmnoc/internal/power"
 	"tdmnoc/internal/router"
 	"tdmnoc/internal/sim"
@@ -30,6 +31,11 @@ type Network struct {
 	// sharedPool is the overflow tier behind every NI's packet free list
 	// (nil unless cfg.PoolMessages).
 	sharedPool *flit.SharedPool
+
+	// probe is the attached observability probe (nil = tracing off);
+	// probeEvery is the telemetry sampling interval in cycles.
+	probe      obs.Probe
+	probeEvery int64
 
 	resizer *hybrid.Resizer
 	// slotActive is the slot count the routers are actually using; it
@@ -136,6 +142,13 @@ func (n *Network) ResizeEvents() int { return n.resizer.ResizeEvents() }
 func (n *Network) Step() {
 	n.exec.Step()
 	n.manage()
+	if n.probe != nil {
+		now := int64(n.clock.Now())
+		if n.probeEvery > 0 && now%n.probeEvery == 0 {
+			n.sampleTelemetry(now)
+		}
+		n.probe.Sync(now)
+	}
 	if n.checker != nil {
 		if now := int64(n.clock.Now()); n.checker.Due(now) {
 			n.checkInvariants(now)
@@ -179,7 +192,7 @@ func (n *Network) manage() {
 	now := n.clock.Now()
 	for _, ni := range n.nis {
 		for _, ok := range ni.setupResults {
-			if newActive, resized := n.resizer.RecordSetupResult(ok); resized && n.resizeAt == 0 {
+			if newActive, resized := n.resizer.RecordSetupResultAt(ok, int64(now)); resized && n.resizeAt == 0 {
 				n.resizeTo = newActive
 				n.resizeAt = now + sim.Cycle(n.cfg.DrainWindow)
 				n.csFrozen = true

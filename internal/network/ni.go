@@ -3,6 +3,7 @@ package network
 import (
 	"tdmnoc/internal/flit"
 	"tdmnoc/internal/hybrid"
+	"tdmnoc/internal/obs"
 	"tdmnoc/internal/router"
 	"tdmnoc/internal/sim"
 	"tdmnoc/internal/stats"
@@ -105,6 +106,9 @@ func (c *circuit) blockBySlot(slot int) *circuitBlock {
 type setupState struct {
 	dst      topology.NodeID
 	attempts int
+	// sentAt is the cycle the latest setup message was queued, so the ack
+	// handler can report the round-trip latency to an attached probe.
+	sentAt sim.Cycle
 }
 
 // setupPending reports whether a path setup toward dst is in flight.
@@ -180,6 +184,10 @@ type NI struct {
 	TotalSent    int64
 	TotalEjected int64
 
+	// probe, when non-nil, receives observability events (serial runs
+	// only; installed by Network.AttachProbe).
+	probe obs.Probe
+
 	seq uint64
 }
 
@@ -249,6 +257,16 @@ func (ni *NI) Circuits() int { return len(ni.circuits) }
 func (ni *NI) Tick(now sim.Cycle, phase sim.Phase) {
 	if phase == sim.PhaseTransfer {
 		if f := ni.r.TakeLocalEject(); f != nil {
+			if ni.probe != nil {
+				// The ejection link is the router's Local output; counting it
+				// here keeps the per-link heatmap's local cells meaningful.
+				var cs uint8
+				if f.CS {
+					cs = 1
+				}
+				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindLinkTraverse,
+					Node: int32(ni.id), A: uint8(topology.Local), B: cs, Pkt: f.Pkt.ID, Seq: int32(f.Seq)})
+			}
 			ni.rx = append(ni.rx, rxFlit{f: f, at: now})
 		}
 		if ni.staged != nil {
@@ -260,7 +278,7 @@ func (ni *NI) Tick(now sim.Cycle, phase sim.Phase) {
 		}
 		return
 	}
-	ni.applyDLTEvents()
+	ni.applyDLTEvents(now)
 	ni.processRX(now)
 	if ni.ep != nil {
 		ni.ep.Tick(now, ni)
@@ -268,15 +286,23 @@ func (ni *NI) Tick(now sim.Cycle, phase sim.Phase) {
 	ni.chooseStaged(now)
 }
 
-func (ni *NI) applyDLTEvents() {
+func (ni *NI) applyDLTEvents(now sim.Cycle) {
 	if ni.dlt == nil {
 		return
 	}
 	for _, e := range ni.dltEventBuf {
 		if e.Add {
 			ni.dlt.Update(e.Dst, e.Slot, e.Dur, e.In)
+			if ni.probe != nil {
+				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindDLTAdd,
+					Node: int32(ni.id), A: uint8(e.In), Slot: int32(e.Slot), Val: int64(e.Dur)})
+			}
 		} else {
 			ni.dlt.Remove(e.Dst)
+			if ni.probe != nil {
+				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindDLTRemove,
+					Node: int32(ni.id)})
+			}
 		}
 	}
 	ni.dltEventBuf = ni.dltEventBuf[:0]
@@ -307,6 +333,10 @@ func (ni *NI) processRX(now sim.Cycle) {
 			}
 			pkt.EjectedAt = int64(rf.at)
 			ni.TotalEjected++
+			if ni.probe != nil {
+				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindEject,
+					Node: int32(ni.id), Pkt: pkt.ID, Val: pkt.EjectedAt - pkt.InjectedAt})
+			}
 			ni.Stats.RecordEjection(pkt)
 			if ni.ep != nil {
 				ni.ep.OnDeliver(now, ni, pkt)
@@ -342,6 +372,19 @@ func (ni *NI) reinjectHopOff(pkt *flit.Packet) {
 func (ni *NI) handleAck(now sim.Cycle, pkt *flit.Packet) {
 	cfg := &ni.net.cfg
 	dst := pkt.Config.CircuitDst
+	if ni.probe != nil {
+		// One ack = one observed setup round trip. Measured against the
+		// pending record (if the setup is still wanted) so retries each
+		// report their own latency.
+		if st, ok := ni.pending[dst]; ok {
+			var okb uint8
+			if pkt.Config.OK {
+				okb = 1
+			}
+			ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSetupLatency,
+				Node: int32(ni.id), B: okb, Pkt: pkt.ID, Val: int64(now - st.sentAt)})
+		}
+	}
 	stale := pkt.Config.Epoch != ni.net.epoch
 	if stale {
 		// Reservations from an older sizing epoch are (or will be) wiped
@@ -399,7 +442,7 @@ func (ni *NI) handleAck(now sim.Cycle, pkt *flit.Packet) {
 	st.attempts++
 	if !ni.net.csFrozen && st.attempts < cfg.RetrySetups {
 		ni.pending[dst] = st
-		ni.sendSetup(dst)
+		ni.sendSetup(now, dst)
 		return
 	}
 	// Give up for a while: without a backoff the frequency counter would
@@ -623,7 +666,7 @@ func (ni *NI) maybeSetup(now sim.Cycle, dst topology.NodeID) {
 		}
 	}
 	ni.pending[dst] = setupState{dst: dst}
-	ni.sendSetup(dst)
+	ni.sendSetup(now, dst)
 }
 
 // teardownIdlest destroys the least recently used idle circuit, returning
@@ -665,7 +708,7 @@ func (ni *NI) requestExtraBlock(now sim.Cycle, dst topology.NodeID) {
 		return
 	}
 	ni.pending[dst] = setupState{dst: dst}
-	ni.sendSetup(dst)
+	ni.sendSetup(now, dst)
 }
 
 func (ni *NI) removeCircuit(listIdx int) {
@@ -675,8 +718,12 @@ func (ni *NI) removeCircuit(listIdx int) {
 }
 
 // sendSetup emits a setup message toward dst with a fresh random slot id.
-func (ni *NI) sendSetup(dst topology.NodeID) {
+func (ni *NI) sendSetup(now sim.Cycle, dst topology.NodeID) {
 	cfg := &ni.net.cfg
+	if st, ok := ni.pending[dst]; ok {
+		st.sentAt = now
+		ni.pending[dst] = st
+	}
 	A := ni.net.ActiveSlots()
 	slot := ni.rng.Intn(A)
 	pkt := ni.pool.Get()
@@ -822,6 +869,10 @@ func (ni *NI) stageCS(now sim.Cycle) {
 		if pkt.InjectedAt == 0 {
 			pkt.InjectedAt = int64(now + 1)
 			ni.Stats.RecordInjection(pkt)
+			if ni.probe != nil {
+				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindInject,
+					Node: int32(ni.id), B: 1, Pkt: pkt.ID, Val: int64(pkt.Flits)})
+			}
 		}
 	}
 	ni.staged = f
@@ -916,6 +967,10 @@ func (ni *NI) tryStartPS(now sim.Cycle) {
 		pkt.InjectedAt = int64(now + 1)
 		if pkt.Kind == flit.DataPacket {
 			ni.Stats.RecordInjection(pkt)
+			if ni.probe != nil {
+				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindInject,
+					Node: int32(ni.id), Pkt: pkt.ID, Val: int64(pkt.Flits)})
+			}
 		}
 	}
 	ni.stagePS(now)

@@ -1,0 +1,50 @@
+package network
+
+import (
+	"tdmnoc/internal/hybrid"
+	"tdmnoc/internal/obs"
+	"tdmnoc/internal/power"
+)
+
+// AttachProbe installs an observability probe on every router, every NI
+// and the slot-table resizer, and enables the network's periodic
+// telemetry pass: every sampleEvery cycles (0 disables sampling) the
+// network emits per-router VC occupancy, slot-table occupancy and
+// cumulative energy gauges plus per-NI queue depths, then calls
+// p.Sync — in that order, so a window-closing Sync always sees the
+// gauges of its own boundary cycle.
+//
+// Only supported with a serial executor: the probe runs inside router
+// and NI ticks, which execute concurrently when Workers > 1. p must be
+// a non-nil interface (see the obs package comment on typed nils).
+func (n *Network) AttachProbe(p obs.Probe, sampleEvery int) {
+	if n.cfg.Workers > 1 {
+		panic("network: observability probes require Workers == 1")
+	}
+	if p == nil {
+		panic("network: AttachProbe requires a non-nil probe")
+	}
+	n.probe = p
+	n.probeEvery = int64(sampleEvery)
+	for _, r := range n.routers {
+		r.SetProbe(p)
+	}
+	for _, ni := range n.nis {
+		ni.probe = p
+	}
+	n.resizer.SetProbe(p)
+}
+
+// sampleTelemetry emits the periodic gauge events (see AttachProbe).
+func (n *Network) sampleTelemetry(now int64) {
+	for id, r := range n.routers {
+		n.probe.Emit(obs.Event{Cycle: now, Kind: obs.KindVCOccupancy,
+			Node: int32(id), Val: int64(r.BufferedFlits())})
+		hybrid.SampleTables(n.probe, now, id, r.Tables())
+		power.SampleEnergy(n.probe, now, id, r.Meter(), n.cfg.Power)
+	}
+	for id, ni := range n.nis {
+		n.probe.Emit(obs.Event{Cycle: now, Kind: obs.KindQueueDepth,
+			Node: int32(id), Val: int64(ni.QueuedPackets())})
+	}
+}

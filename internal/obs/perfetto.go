@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceMeta labels the exported trace. Width/Height give the mesh shape
+// so router threads get human-readable "(x,y)" names; OtherData lands in
+// the trace's otherData section (written in sorted key order so the
+// output is deterministic).
+type TraceMeta struct {
+	Width, Height int
+	OtherData     map[string]string
+}
+
+// globalTID is the thread id used for network-wide events (Node == -1),
+// e.g. slot-table resizes decided by the central policy.
+const globalTID = 1 << 20
+
+// pid assignment: routers and NIs get separate Perfetto processes so
+// their tracks group cleanly.
+const (
+	pidRouters = 1
+	pidNIs     = 2
+)
+
+func eventPID(k Kind) int {
+	switch k {
+	case KindInject, KindEject, KindSetupLatency, KindDLTAdd, KindDLTRemove, KindQueueDepth:
+		return pidNIs
+	}
+	return pidRouters
+}
+
+func eventCat(k Kind) string {
+	switch k {
+	case KindCSBypass, KindSetupReserve, KindSetupFail, KindSetupAck,
+		KindTeardownRelease, KindSlotSteal, KindSlotResize:
+		return "cs"
+	case KindInject, KindEject, KindSetupLatency, KindDLTAdd, KindDLTRemove:
+		return "ni"
+	case KindQueueDepth, KindVCOccupancy, KindSlotOccupancy, KindEnergySample:
+		return "gauge"
+	}
+	return "pipe"
+}
+
+func isCounter(k Kind) bool {
+	switch k {
+	case KindQueueDepth, KindVCOccupancy, KindSlotOccupancy, KindEnergySample:
+		return true
+	}
+	return false
+}
+
+// WriteTrace streams the ring's events as Chrome trace-event JSON
+// (loadable by Perfetto and chrome://tracing). One thread per router and
+// per NI, timestamps in microseconds with 1 cycle = 1 us, pipeline and
+// protocol events as 1-cycle "X" slices, sampled gauges as "C" counters,
+// and a packet's head flit linked across hops with "s"/"t"/"f" flow
+// events keyed by packet id.
+func WriteTrace(w io.Writer, ring *Ring, meta TraceMeta) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	first := true
+	sep := func() string {
+		if first {
+			first = false
+			return ""
+		}
+		return ","
+	}
+	if _, err := fmt.Fprint(bw, `{"traceEvents":[`); err != nil {
+		return err
+	}
+
+	// Metadata: name the processes and one thread per node.
+	fmt.Fprintf(bw, `%s{"ph":"M","pid":%d,"name":"process_name","args":{"name":"routers"}}`, sep(), pidRouters)
+	fmt.Fprintf(bw, `%s{"ph":"M","pid":%d,"name":"process_name","args":{"name":"NIs"}}`, sep(), pidNIs)
+	nodes := meta.Width * meta.Height
+	for n := 0; n < nodes; n++ {
+		x, y := n%meta.Width, n/meta.Width
+		fmt.Fprintf(bw, `%s{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"router (%d,%d)"}}`,
+			sep(), pidRouters, n, x, y)
+		fmt.Fprintf(bw, `%s{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"ni (%d,%d)"}}`,
+			sep(), pidNIs, n, x, y)
+	}
+	fmt.Fprintf(bw, `%s{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"global"}}`,
+		sep(), pidRouters, globalTID)
+
+	// flowState: 0 = unseen, 1 = started, 2 = finished.
+	flowState := make(map[uint64]uint8)
+
+	var werr error
+	ring.Do(func(e Event) {
+		if werr != nil {
+			return
+		}
+		pid := eventPID(e.Kind)
+		tid := int64(e.Node)
+		if e.Node < 0 {
+			pid, tid = pidRouters, globalTID
+		}
+		if isCounter(e.Kind) {
+			_, werr = fmt.Fprintf(bw, `%s{"ph":"C","pid":%d,"tid":%d,"ts":%d,"name":"%s","cat":"%s","args":{"v":%d}}`,
+				sep(), pid, tid, e.Cycle, e.Kind, eventCat(e.Kind), e.Val)
+			return
+		}
+		_, werr = fmt.Fprintf(bw, `%s{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":1,"name":"%s","cat":"%s","args":{"pkt":%d,"seq":%d,"slot":%d,"val":%d,"a":%d,"b":%d}}`,
+			sep(), pid, tid, e.Cycle, e.Kind, eventCat(e.Kind), e.Pkt, e.Seq, e.Slot, e.Val, e.A, e.B)
+		if werr != nil {
+			return
+		}
+		// Flow events tie a packet's head flit together across hops. The
+		// ring may have dropped a packet's first hop, so the first sighting
+		// of an id starts its flow regardless of where it occurs; ejection
+		// finishes it and later sightings of a finished id are ignored.
+		if e.Pkt == 0 {
+			return
+		}
+		headHop := (e.Kind == KindLinkTraverse || e.Kind == KindInject) && e.Seq == 0
+		eject := e.Kind == KindEject
+		if !headHop && !eject {
+			return
+		}
+		switch flowState[e.Pkt] {
+		case 0:
+			if eject {
+				return // never saw the packet in flight; no flow to finish
+			}
+			flowState[e.Pkt] = 1
+			_, werr = fmt.Fprintf(bw, `%s{"ph":"s","pid":%d,"tid":%d,"ts":%d,"name":"pkt","cat":"flow","id":"0x%x"}`,
+				sep(), pid, tid, e.Cycle, e.Pkt)
+		case 1:
+			ph := "t"
+			if eject {
+				ph = "f"
+				flowState[e.Pkt] = 2
+			}
+			bp := ""
+			if ph == "f" {
+				bp = `,"bp":"e"`
+			}
+			_, werr = fmt.Fprintf(bw, `%s{"ph":"%s","pid":%d,"tid":%d,"ts":%d,"name":"pkt","cat":"flow","id":"0x%x"%s}`,
+				sep(), ph, pid, tid, e.Cycle, e.Pkt, bp)
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+
+	if _, err := fmt.Fprint(bw, `],"displayTimeUnit":"ms","otherData":{`); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(meta.OtherData))
+	for k := range meta.OtherData {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		comma := ","
+		if i == 0 {
+			comma = ""
+		}
+		if _, err := fmt.Fprintf(bw, `%s%q:%q`, comma, k, meta.OtherData[k]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(bw, "}}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

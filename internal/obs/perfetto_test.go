@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+type traceFile struct {
+	TraceEvents []struct {
+		Ph   string          `json:"ph"`
+		Pid  int             `json:"pid"`
+		Tid  int64           `json:"tid"`
+		Ts   int64           `json:"ts"`
+		Dur  int64           `json:"dur"`
+		Name string          `json:"name"`
+		Cat  string          `json:"cat"`
+		ID   string          `json:"id"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+func writeTestTrace(t *testing.T, events []Event) (traceFile, []byte) {
+	t.Helper()
+	ring := NewRing(len(events) + 1)
+	for _, e := range events {
+		ring.Push(e)
+	}
+	var buf bytes.Buffer
+	meta := TraceMeta{Width: 2, Height: 2, OtherData: map[string]string{"mode": "tdm", "seed": "1"}}
+	if err := WriteTrace(&buf, ring, meta); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	return tf, buf.Bytes()
+}
+
+func TestWriteTraceFormat(t *testing.T) {
+	events := []Event{
+		{Kind: KindInject, Cycle: 5, Node: 0, Pkt: 7, Seq: 0, Val: 4},
+		{Kind: KindLinkTraverse, Cycle: 6, Node: 0, A: 2, B: 1, Pkt: 7, Seq: 0},
+		{Kind: KindLinkTraverse, Cycle: 7, Node: 1, A: 0, B: 1, Pkt: 7, Seq: 0},
+		{Kind: KindVCOccupancy, Cycle: 8, Node: 2, Val: 5},
+		{Kind: KindSlotResize, Cycle: 9, Node: -1, Val: 8},
+		{Kind: KindEject, Cycle: 10, Node: 1, Pkt: 7, Seq: 0, Val: 5},
+	}
+	tf, raw := writeTestTrace(t, events)
+
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	if tf.OtherData["mode"] != "tdm" || tf.OtherData["seed"] != "1" {
+		t.Errorf("otherData = %v", tf.OtherData)
+	}
+
+	var metas, slices, counters, flows int
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metas++
+		case "X":
+			slices++
+			if e.Dur != 1 {
+				t.Errorf("slice %s dur = %d, want 1", e.Name, e.Dur)
+			}
+		case "C":
+			counters++
+			var args struct {
+				V int64 `json:"v"`
+			}
+			if err := json.Unmarshal(e.Args, &args); err != nil || args.V != 5 {
+				t.Errorf("counter args = %s", e.Args)
+			}
+		case "s", "t", "f":
+			flows++
+			if e.Name != "pkt" || e.Cat != "flow" || e.ID != "0x7" {
+				t.Errorf("flow event %+v malformed", e)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	// 2 process names + 2*4 thread names + 1 global thread.
+	if metas != 11 {
+		t.Errorf("metadata events = %d, want 11", metas)
+	}
+	if slices != 5 || counters != 1 {
+		t.Errorf("slices/counters = %d/%d, want 5/1", slices, counters)
+	}
+	// inject starts the flow, second link hop continues it, eject ends it
+	// (the first link hop is on the same node+cycle+1 as the start).
+	if flows != 4 {
+		t.Errorf("flow events = %d, want 4", flows)
+	}
+
+	// The network-global resize event lands on the dedicated global track.
+	found := false
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "X" && e.Name == "slot-resize" {
+			found = true
+			if e.Tid != globalTID || e.Pid != pidRouters {
+				t.Errorf("global event on pid/tid %d/%d", e.Pid, e.Tid)
+			}
+		}
+	}
+	if !found {
+		t.Error("slot-resize slice missing")
+	}
+
+	// Finish flag: the "f" event must bind to the enclosing slice.
+	if !bytes.Contains(raw, []byte(`"bp":"e"`)) {
+		t.Error(`flow finish lacks "bp":"e"`)
+	}
+}
+
+// TestWriteTraceFlowPairing: no duplicate starts, no continue/finish
+// before a start, ejects of unseen packets emit no flow at all.
+func TestWriteTraceFlowPairing(t *testing.T) {
+	events := []Event{
+		{Kind: KindEject, Cycle: 1, Node: 0, Pkt: 99},               // unseen: no flow
+		{Kind: KindLinkTraverse, Cycle: 2, Node: 0, Pkt: 5},         // starts mid-route
+		{Kind: KindLinkTraverse, Cycle: 3, Node: 1, Pkt: 5},         // continues
+		{Kind: KindEject, Cycle: 4, Node: 1, Pkt: 5},                // finishes
+		{Kind: KindLinkTraverse, Cycle: 5, Node: 2, Pkt: 5},         // after finish: ignored
+		{Kind: KindLinkTraverse, Cycle: 6, Node: 0, Pkt: 6, Seq: 1}, // body flit: no flow
+	}
+	tf, _ := writeTestTrace(t, events)
+
+	state := map[string]int{} // id -> 0 unseen, 1 started, 2 finished
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "s":
+			if state[e.ID] != 0 {
+				t.Errorf("duplicate flow start for %s", e.ID)
+			}
+			state[e.ID] = 1
+		case "t":
+			if state[e.ID] != 1 {
+				t.Errorf("flow continue for %s in state %d", e.ID, state[e.ID])
+			}
+		case "f":
+			if state[e.ID] != 1 {
+				t.Errorf("flow finish for %s in state %d", e.ID, state[e.ID])
+			}
+			state[e.ID] = 2
+		}
+	}
+	if len(state) != 1 || state["0x5"] != 2 {
+		t.Errorf("flow states = %v, want only 0x5 finished", state)
+	}
+}
+
+// TestWriteTraceDeterministic: identical rings encode to identical bytes.
+func TestWriteTraceDeterministic(t *testing.T) {
+	events := []Event{
+		{Kind: KindInject, Cycle: 1, Pkt: 3},
+		{Kind: KindLinkTraverse, Cycle: 2, Node: 1, Pkt: 3, B: 1},
+		{Kind: KindEject, Cycle: 3, Node: 1, Pkt: 3},
+	}
+	_, a := writeTestTrace(t, events)
+	_, b := writeTestTrace(t, events)
+	if !bytes.Equal(a, b) {
+		t.Error("trace bytes differ between identical runs")
+	}
+}

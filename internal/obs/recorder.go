@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"tdmnoc/internal/topology"
+)
+
+// LatencyBuckets are the upper bounds (in cycles, inclusive) of the
+// fixed setup-latency histogram. An extra overflow bucket catches
+// everything above the last bound. The bounds double so the same
+// buckets serve both an uncongested 4x4 mesh and a saturated 8x8 one.
+var LatencyBuckets = [8]int64{8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Histogram is a fixed-bucket latency histogram. Counts[i] holds
+// observations <= LatencyBuckets[i]; Counts[len(LatencyBuckets)] is the
+// overflow bucket. All fields are plain integers so observation is
+// allocation-free and the JSON form is deterministic.
+type Histogram struct {
+	Counts [len(LatencyBuckets) + 1]uint64 `json:"counts"`
+	Sum    int64                           `json:"sum"`
+	Total  uint64                          `json:"total"`
+}
+
+// Observe records one latency value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for ; i < len(LatencyBuckets); i++ {
+		if v <= LatencyBuckets[i] {
+			break
+		}
+	}
+	h.Counts[i]++
+	h.Sum += v
+	h.Total++
+}
+
+// Sample is one closed telemetry window. Flit/steal/setup fields count
+// occurrences within the window; the occupancy and queue fields are
+// gauges captured at the window boundary; EnergyMilliPJ is the dynamic
+// energy accrued during the window, in thousandths of a picojoule.
+type Sample struct {
+	Cycle         int64 `json:"cycle"`
+	CSFlits       int64 `json:"cs_flits"`
+	PSFlits       int64 `json:"ps_flits"`
+	Steals        int64 `json:"steals"`
+	SetupsOK      int64 `json:"setups_ok"`
+	SetupsFailed  int64 `json:"setups_failed"`
+	BufferedFlits int64 `json:"buffered_flits"`
+	ReservedSlots int64 `json:"reserved_slots"`
+	NIQueued      int64 `json:"ni_queued"`
+	EnergyMilliPJ int64 `json:"energy_mpj"`
+}
+
+// Summary is the compact, timestamp-free JSON digest of a recorded run.
+// It is a pure function of the simulation, so campaign records that
+// embed it stay byte-identical between serial and parallel store runs.
+type Summary struct {
+	Cycles       int64     `json:"cycles"`
+	Events       uint64    `json:"events"`
+	RingDrops    uint64    `json:"ring_drops"`
+	Injected     int64     `json:"injected"`
+	Ejected      int64     `json:"ejected"`
+	CSFlits      int64     `json:"cs_flits"`
+	PSFlits      int64     `json:"ps_flits"`
+	Steals       int64     `json:"steals"`
+	SetupsOK     int64     `json:"setups_ok"`
+	SetupsFailed int64     `json:"setups_failed"`
+	SetupLatency Histogram `json:"setup_latency"`
+	BucketLE     []int64   `json:"bucket_le"`
+	Samples      []Sample  `json:"samples,omitempty"`
+}
+
+// RecorderConfig sizes a Recorder. The zero value of every field picks
+// a sensible default; Nodes must be set to the mesh's router count.
+type RecorderConfig struct {
+	// Nodes is the number of routers/NIs (width * height).
+	Nodes int
+	// RingCapacity bounds the event timeline (default 1 << 16).
+	RingCapacity int
+	// SampleEvery closes a telemetry window every K cycles; 0 disables
+	// time-series collection (the event ring still fills).
+	SampleEvery int
+	// MaxSamples bounds the retained windows, oldest dropped (default 4096).
+	MaxSamples int
+}
+
+// Recorder is the standard Probe: it owns the event ring, the running
+// totals, the setup-latency histogram, and the bounded time-series
+// sample buffer. Everything is preallocated in NewRecorder; Emit and
+// Sync never allocate.
+type Recorder struct {
+	ring  *Ring
+	nodes int
+	every int64
+
+	events uint64
+	cycles int64
+
+	// linkFlits accumulates per-(node, output port) link traversals for
+	// the utilization heatmaps, indexed node*NumPorts + port.
+	linkFlits []int64
+
+	injected, ejected    int64
+	csFlits, psFlits     int64
+	steals               int64
+	setupsOK, setupsFail int64
+	setupLatency         Histogram
+
+	// win* are the counters of the currently open telemetry window.
+	winCS, winPS, winSteals  int64
+	winSetupOK, winSetupFail int64
+	// winBuffered/Reserved/Queued/Energy accumulate the gauge emissions
+	// of the current sampling round (the network emits them just before
+	// the Sync that closes the window).
+	winBuffered, winReserved, winQueued int64
+	winEnergy                           int64
+	lastEnergy                          int64
+
+	samples  []Sample
+	sampHead int
+	sampN    int
+}
+
+// NewRecorder builds a Recorder, performing all allocation up front.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.RingCapacity <= 0 {
+		cfg.RingCapacity = 1 << 16
+	}
+	if cfg.MaxSamples <= 0 {
+		cfg.MaxSamples = 4096
+	}
+	return &Recorder{
+		ring:      NewRing(cfg.RingCapacity),
+		nodes:     cfg.Nodes,
+		every:     int64(cfg.SampleEvery),
+		linkFlits: make([]int64, cfg.Nodes*int(topology.NumPorts)),
+		samples:   make([]Sample, cfg.MaxSamples),
+	}
+}
+
+// Emit implements Probe. It updates the running aggregates and stores
+// the event in the ring, all without allocating.
+func (r *Recorder) Emit(e Event) {
+	r.events++
+	switch e.Kind {
+	case KindInject:
+		r.injected++
+	case KindEject:
+		r.ejected++
+	case KindLinkTraverse:
+		if i := int(e.Node)*int(topology.NumPorts) + int(e.A); i >= 0 && i < len(r.linkFlits) {
+			r.linkFlits[i]++
+		}
+		if e.B != 0 {
+			r.csFlits++
+			r.winCS++
+		} else {
+			r.psFlits++
+			r.winPS++
+		}
+	case KindSlotSteal:
+		r.steals++
+		r.winSteals++
+	case KindSetupLatency:
+		if e.B != 0 {
+			r.setupsOK++
+			r.winSetupOK++
+			r.setupLatency.Observe(e.Val)
+		} else {
+			r.setupsFail++
+			r.winSetupFail++
+		}
+	case KindVCOccupancy:
+		r.winBuffered += e.Val
+	case KindSlotOccupancy:
+		r.winReserved += e.Val
+	case KindQueueDepth:
+		r.winQueued += e.Val
+	case KindEnergySample:
+		r.winEnergy += e.Val
+	}
+	r.ring.Push(e)
+}
+
+// Sync implements Probe. At every SampleEvery-th cycle it closes the
+// open telemetry window into the sample buffer.
+func (r *Recorder) Sync(now int64) {
+	r.cycles = now
+	if r.every <= 0 || now == 0 || now%r.every != 0 {
+		return
+	}
+	// Energy emissions carry cumulative meter readings; a window with no
+	// emission (sampling disabled or misaligned) reports zero rather than
+	// a bogus negative delta.
+	var energyDelta int64
+	if r.winEnergy != 0 {
+		energyDelta = r.winEnergy - r.lastEnergy
+		r.lastEnergy = r.winEnergy
+	}
+	s := Sample{
+		Cycle:         now,
+		CSFlits:       r.winCS,
+		PSFlits:       r.winPS,
+		Steals:        r.winSteals,
+		SetupsOK:      r.winSetupOK,
+		SetupsFailed:  r.winSetupFail,
+		BufferedFlits: r.winBuffered,
+		ReservedSlots: r.winReserved,
+		NIQueued:      r.winQueued,
+		EnergyMilliPJ: energyDelta,
+	}
+	r.winCS, r.winPS, r.winSteals = 0, 0, 0
+	r.winSetupOK, r.winSetupFail = 0, 0
+	r.winBuffered, r.winReserved, r.winQueued = 0, 0, 0
+	r.winEnergy = 0
+	if r.sampN < len(r.samples) {
+		r.samples[(r.sampHead+r.sampN)%len(r.samples)] = s
+		r.sampN++
+	} else {
+		r.samples[r.sampHead] = s
+		r.sampHead = (r.sampHead + 1) % len(r.samples)
+	}
+}
+
+// Ring exposes the event timeline for export.
+func (r *Recorder) Ring() *Ring { return r.ring }
+
+// Events returns the total number of events emitted (including any that
+// have since been dropped from the ring).
+func (r *Recorder) Events() uint64 { return r.events }
+
+// Dropped returns the ring's drop counter.
+func (r *Recorder) Dropped() uint64 { return r.ring.Dropped() }
+
+// LinkFlits returns the cumulative flits sent by node through port.
+func (r *Recorder) LinkFlits(node int, port topology.Port) int64 {
+	i := node*int(topology.NumPorts) + int(port)
+	if i < 0 || i >= len(r.linkFlits) {
+		return 0
+	}
+	return r.linkFlits[i]
+}
+
+// Steals returns the cumulative slot-steal count.
+func (r *Recorder) Steals() int64 { return r.steals }
+
+// SetupLatency returns a copy of the setup-latency histogram.
+func (r *Recorder) SetupLatency() Histogram { return r.setupLatency }
+
+// Samples returns the retained telemetry windows, oldest first.
+func (r *Recorder) Samples() []Sample {
+	out := make([]Sample, r.sampN)
+	for i := 0; i < r.sampN; i++ {
+		out[i] = r.samples[(r.sampHead+i)%len(r.samples)]
+	}
+	return out
+}
+
+// Summary assembles the deterministic JSON digest.
+func (r *Recorder) Summary() *Summary {
+	le := make([]int64, len(LatencyBuckets))
+	copy(le, LatencyBuckets[:])
+	return &Summary{
+		Cycles:       r.cycles,
+		Events:       r.events,
+		RingDrops:    r.ring.Dropped(),
+		Injected:     r.injected,
+		Ejected:      r.ejected,
+		CSFlits:      r.csFlits,
+		PSFlits:      r.psFlits,
+		Steals:       r.steals,
+		SetupsOK:     r.setupsOK,
+		SetupsFailed: r.setupsFail,
+		SetupLatency: r.setupLatency,
+		BucketLE:     le,
+		Samples:      r.Samples(),
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"tdmnoc/internal/textplot"
+	"tdmnoc/internal/topology"
+)
+
+// LinkGrid builds a per-link utilization grid for textplot.Heatmap. The
+// grid interleaves routers and links: a W x H mesh becomes (2H-1) rows by
+// (2W-1) columns where even/even cells are routers (local-port
+// utilization, i.e. ejection-link traffic), the cells between two
+// routers carry the inter-router link (the busier of its two
+// directions), and the remaining odd/odd cells are zero padding.
+func LinkGrid(rec *Recorder, width, height int, cycles int64) [][]float64 {
+	if cycles <= 0 {
+		cycles = 1
+	}
+	util := func(node int, p topology.Port) float64 {
+		return float64(rec.LinkFlits(node, p)) / float64(cycles)
+	}
+	grid := make([][]float64, 2*height-1)
+	for r := range grid {
+		grid[r] = make([]float64, 2*width-1)
+	}
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			n := y*width + x
+			grid[2*y][2*x] = util(n, topology.Local)
+			if x+1 < width {
+				east := util(n, topology.East)
+				west := util(y*width+x+1, topology.West)
+				grid[2*y][2*x+1] = max(east, west)
+			}
+			if y+1 < height {
+				south := util(n, topology.South)
+				north := util((y+1)*width+x, topology.North)
+				grid[2*y+1][2*x] = max(south, north)
+			}
+		}
+	}
+	return grid
+}
+
+// RenderTimeSeries renders the collected telemetry windows as terminal
+// plots: CS vs PS link-flit throughput, and buffered-flit / NI-backlog
+// occupancy. every is the sampling interval used when recording.
+func RenderTimeSeries(samples []Sample, every int) (string, error) {
+	if len(samples) == 0 {
+		return "", fmt.Errorf("obs: no telemetry samples collected")
+	}
+	if every < 1 {
+		every = 1
+	}
+	n := len(samples)
+	x := make([]float64, n)
+	cs := make([]float64, n)
+	ps := make([]float64, n)
+	buf := make([]float64, n)
+	que := make([]float64, n)
+	for i, s := range samples {
+		x[i] = float64(s.Cycle)
+		cs[i] = float64(s.CSFlits) / float64(every)
+		ps[i] = float64(s.PSFlits) / float64(every)
+		buf[i] = float64(s.BufferedFlits)
+		que[i] = float64(s.NIQueued)
+	}
+
+	var sb strings.Builder
+	tp := textplot.Plot{
+		Title:  fmt.Sprintf("link throughput (flits/cycle, window=%d)", every),
+		XLabel: "cycle", YLabel: "flits/cyc",
+		Width: 72, Height: 14,
+	}
+	if err := tp.Add(textplot.Series{Name: "CS", X: x, Y: cs, Marker: 'c'}); err != nil {
+		return "", err
+	}
+	if err := tp.Add(textplot.Series{Name: "PS", X: x, Y: ps, Marker: 'p'}); err != nil {
+		return "", err
+	}
+	sb.WriteString(tp.Render())
+	sb.WriteByte('\n')
+
+	op := textplot.Plot{
+		Title:  "occupancy (sampled)",
+		XLabel: "cycle", YLabel: "count",
+		Width: 72, Height: 14,
+	}
+	if err := op.Add(textplot.Series{Name: "buffered flits", X: x, Y: buf, Marker: 'b'}); err != nil {
+		return "", err
+	}
+	if err := op.Add(textplot.Series{Name: "NI queued pkts", X: x, Y: que, Marker: 'q'}); err != nil {
+		return "", err
+	}
+	sb.WriteString(op.Render())
+	return sb.String(), nil
+}

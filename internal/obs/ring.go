@@ -1,0 +1,59 @@
+package obs
+
+// Ring is a bounded event buffer preallocated at construction. Push
+// never allocates: when the ring is full the oldest event is overwritten
+// and the drop counter increments. It is single-owner (probes run only
+// under a serial executor) and makes no concurrency promises.
+type Ring struct {
+	buf     []Event
+	head    int // index of the oldest event
+	n       int // number of live events
+	dropped uint64
+}
+
+// NewRing allocates a ring holding up to capacity events. A capacity
+// below 1 is raised to 1 so Push is always well-defined.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Push appends e, overwriting the oldest event if the ring is full.
+func (r *Ring) Push(e Event) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = e
+		r.n++
+		return
+	}
+	r.buf[r.head] = e
+	r.head = (r.head + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Len returns the number of live events.
+func (r *Ring) Len() int { return r.n }
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Dropped returns how many events were overwritten since construction.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Snapshot copies the live events, oldest first, into a fresh slice.
+// It allocates and is meant for end-of-run export, not the hot path.
+func (r *Ring) Snapshot() []Event {
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Do calls fn for each live event, oldest first, without allocating.
+func (r *Ring) Do(fn func(Event)) {
+	for i := 0; i < r.n; i++ {
+		fn(r.buf[(r.head+i)%len(r.buf)])
+	}
+}

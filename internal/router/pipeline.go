@@ -2,6 +2,7 @@ package router
 
 import (
 	"tdmnoc/internal/flit"
+	"tdmnoc/internal/obs"
 	"tdmnoc/internal/routing"
 	"tdmnoc/internal/sim"
 	"tdmnoc/internal/topology"
@@ -36,6 +37,10 @@ func (r *Router) acceptIncoming(now sim.Cycle) bool {
 		vc.push(f)
 		r.meter.BufWrites++
 		r.emit(Event{Cycle: int64(now), Kind: EvBufferWrite, In: p, PktID: f.Pkt.ID, Seq: f.Seq})
+		if r.probe != nil {
+			r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindBufferWrite,
+				Node: int32(r.id), A: uint8(p), Pkt: f.Pkt.ID, Seq: int32(f.Seq), Val: int64(f.VC)})
+		}
 		if len(vc.q) == 1 && vc.state == vcIdle {
 			if f.IsHead() {
 				vc.state = vcRouting
@@ -77,6 +82,11 @@ func (r *Router) acceptCS(now sim.Cycle, p topology.Port, f *flit.Flit) {
 		r.dltEvents = append(r.dltEvents, DLTEvent{Add: true, Dst: f.Pkt.Dst, Slot: slot, Dur: dur, In: p})
 	}
 	r.emit(Event{Cycle: int64(now), Kind: EvCSBypass, In: p, Out: out, PktID: f.Pkt.ID, Seq: f.Seq, Slot: r.tables.SlotOf(int64(now))})
+	if r.probe != nil {
+		r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindCSBypass,
+			Node: int32(r.id), A: uint8(p), B: uint8(out), Pkt: f.Pkt.ID, Seq: int32(f.Seq),
+			Slot: int32(r.tables.SlotOf(int64(now)))})
+	}
 	if cur := r.csPending[out]; cur != nil {
 		// Two CS flits claim one output in the same slot. The circuit
 		// owner has priority over a hitchhiker; the loser is dropped and
@@ -114,6 +124,10 @@ func (r *Router) switchTraversal(now sim.Cycle) bool {
 		}
 		if ou.stReg != nil && ou.latch == nil {
 			r.emit(Event{Cycle: int64(now), Kind: EvPSTraverse, Out: o, PktID: ou.stReg.Pkt.ID, Seq: ou.stReg.Seq})
+			if r.probe != nil {
+				r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSwitchTraverse,
+					Node: int32(r.id), B: uint8(o), Pkt: ou.stReg.Pkt.ID, Seq: int32(ou.stReg.Seq)})
+			}
 			ou.latch = ou.stReg
 			ou.stReg = nil
 			r.meter.XbarFlits++
@@ -147,6 +161,10 @@ func (r *Router) routeCompute(now sim.Cycle) {
 				vc.route = r.dataRoute(f.Pkt)
 				vc.state = vcVCAlloc
 				vc.ready = now + 1
+				if r.probe != nil {
+					r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindRouteCompute,
+						Node: int32(r.id), A: uint8(p), B: uint8(vc.route), Pkt: f.Pkt.ID})
+				}
 			}
 		}
 	}
@@ -199,10 +217,19 @@ func (r *Router) processSetup(now sim.Cycle, p topology.Port, vc *inputVC, f *fl
 		r.tables.Reserve(p, out, cfgp.Slot, cfgp.Duration, int64(now))
 	if !ok {
 		r.emit(Event{Cycle: int64(now), Kind: EvSetupFail, In: p, Out: out, PktID: pkt.ID, Slot: cfgp.Slot})
+		if r.probe != nil {
+			r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSetupFail,
+				Node: int32(r.id), A: uint8(p), B: uint8(out), Pkt: pkt.ID, Slot: int32(cfgp.Slot)})
+		}
 		r.convertToAck(now, vc, f, false)
 		return
 	}
 	r.emit(Event{Cycle: int64(now), Kind: EvSetupReserve, In: p, Out: out, PktID: pkt.ID, Slot: cfgp.Slot})
+	if r.probe != nil {
+		r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSetupReserve,
+			Node: int32(r.id), A: uint8(p), B: uint8(out), Pkt: pkt.ID, Slot: int32(cfgp.Slot),
+			Val: int64(cfgp.Duration)})
+	}
 	r.meter.SlotWrites += int64(cfgp.Duration)
 	cfgp.Hop++
 	if out == topology.Local {
@@ -246,6 +273,11 @@ func (r *Router) processTeardown(now sim.Cycle, p topology.Port, vc *inputVC) {
 			r.meter.SlotWrites += int64(cfgp.Duration)
 			out = o
 			r.emit(Event{Cycle: int64(now), Kind: EvTeardownRelease, In: p, Out: o, PktID: pkt.ID, Slot: cfgp.Slot})
+			if r.probe != nil {
+				r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindTeardownRelease,
+					Node: int32(r.id), A: uint8(p), B: uint8(o), Pkt: pkt.ID, Slot: int32(cfgp.Slot),
+					Val: int64(cfgp.Duration)})
+			}
 		}
 	}
 	if r.cfg.Sharing {
@@ -281,6 +313,14 @@ func (r *Router) convertToAck(now sim.Cycle, vc *inputVC, f *flit.Flit, ok bool)
 	pkt.Config.FailHop = pkt.Config.Hop
 	pkt.CreatedAt = int64(now)
 	pkt.InjectedAt = int64(now)
+	if r.probe != nil {
+		var okb uint8
+		if ok {
+			okb = 1
+		}
+		r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSetupAck,
+			Node: int32(r.id), B: okb, Pkt: pkt.ID, Slot: int32(pkt.Config.Slot)})
+	}
 	// Re-run route computation next cycle with the new destination.
 	vc.state = vcRouting
 	vc.ready = now + 1
@@ -355,6 +395,10 @@ func (r *Router) vcAllocate(now sim.Cycle) {
 			vc.outVC = got
 			vc.ready = now + 1
 			r.meter.VCArbs++
+			if r.probe != nil {
+				r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindVCAlloc,
+					Node: int32(r.id), A: uint8(p), B: uint8(o), Val: int64(got)})
+			}
 			ou.rrVA = (idx + 1) % n
 		}
 	}
@@ -448,6 +492,14 @@ func (r *Router) switchAllocate(now sim.Cycle) bool {
 					continue // output already matched or stalled by CS priority
 				}
 				if vc.outPort != topology.Local && ou.credits[vc.outVC] <= 0 {
+					// Report the stall once per cycle (iteration 0), not once
+					// per iSLIP iteration, so stall counts are comparable
+					// across SAIterations settings.
+					if r.probe != nil && it == 0 {
+						r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindCreditStall,
+							Node: int32(r.id), A: uint8(p), B: uint8(vc.outPort),
+							Pkt: vc.front().Pkt.ID, Val: int64(vc.outVC)})
+					}
 					continue
 				}
 				if r.csBlocked(now, vc.outPort) {
@@ -489,10 +541,19 @@ func (r *Router) switchAllocate(now sim.Cycle) bool {
 				r.in[p].rrVC = (winnerVC[p] + 1) % r.cfg.VCs
 				f.VC = vc.outVC
 				ou.stReg = f
+				if r.probe != nil {
+					r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSwitchAlloc,
+						Node: int32(r.id), A: uint8(p), B: uint8(o), Pkt: f.Pkt.ID, Seq: int32(f.Seq)})
+				}
 				if r.tables != nil {
 					if _, res := r.tables.OutReservedAt(int64(now+1), o); res {
 						r.StolenSlots++
 						r.emit(Event{Cycle: int64(now), Kind: EvSteal, In: p, Out: o, PktID: f.Pkt.ID, Seq: f.Seq})
+						if r.probe != nil {
+							r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSlotSteal,
+								Node: int32(r.id), A: uint8(p), B: uint8(o), Pkt: f.Pkt.ID, Seq: int32(f.Seq),
+								Slot: int32(r.tables.SlotOf(int64(now + 1)))})
+						}
 					}
 				}
 				if o != topology.Local {

@@ -1,0 +1,26 @@
+package router
+
+import (
+	"tdmnoc/internal/obs"
+)
+
+// SetProbe installs (or, with nil, removes) the router's observability
+// probe. The probe runs inside compute/transfer ticks: it must not touch
+// other simulation entities and is only supported with a serial executor
+// (Workers == 1) — the network enforces this in AttachProbe. Pass a nil
+// interface to detach; a typed-nil concrete value would defeat the
+// nil-check guards (see the obs package comment).
+func (r *Router) SetProbe(p obs.Probe) { r.probe = p }
+
+// BufferedFlits returns the number of flits currently held across all of
+// the router's input VC buffers — the per-router occupancy gauge sampled
+// by the network's telemetry pass.
+func (r *Router) BufferedFlits() int {
+	n := 0
+	for p := range r.in {
+		for v := range r.in[p].vcs {
+			n += len(r.in[p].vcs[v].q)
+		}
+	}
+	return n
+}

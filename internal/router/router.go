@@ -5,6 +5,7 @@ import (
 
 	"tdmnoc/internal/flit"
 	"tdmnoc/internal/hybrid"
+	"tdmnoc/internal/obs"
 	"tdmnoc/internal/power"
 	"tdmnoc/internal/routing"
 	"tdmnoc/internal/sim"
@@ -82,6 +83,10 @@ type Router struct {
 
 	// events, when non-nil, receives debug trace events (serial runs only).
 	events EventSink
+	// probe, when non-nil, receives cycle-level observability events
+	// (serial runs only). Every emission site is guarded by a nil check so
+	// the disabled path costs one predictable branch and zero allocations.
+	probe obs.Probe
 }
 
 // New creates a router for node id on mesh m. The caller wires neighbours
@@ -230,7 +235,7 @@ func (r *Router) Tick(now sim.Cycle, phase sim.Phase) {
 	case sim.PhaseCompute:
 		r.compute(now)
 	case sim.PhaseTransfer:
-		r.transfer()
+		r.transfer(now)
 	}
 }
 
@@ -247,7 +252,7 @@ func (r *Router) compute(now sim.Cycle) {
 
 // transfer moves flits across this router's incoming links and returns
 // credits upstream.
-func (r *Router) transfer() {
+func (r *Router) transfer(now sim.Cycle) {
 	for p := topology.Port(0); p < topology.NumPorts; p++ {
 		up := r.neighbors[p]
 		if up == nil {
@@ -265,6 +270,17 @@ func (r *Router) transfer() {
 		if f := up.out[upPort].latch; f != nil {
 			iu.linkReg = f
 			up.out[upPort].latch = nil
+			if r.probe != nil {
+				// LT: the flit leaves the upstream router's output port.
+				// Each link has exactly one downstream owner, so attributing
+				// the event to the sender from here double-counts nothing.
+				var cs uint8
+				if f.CS {
+					cs = 1
+				}
+				r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindLinkTraverse,
+					Node: int32(up.id), A: uint8(upPort), B: cs, Pkt: f.Pkt.ID, Seq: int32(f.Seq)})
+			}
 		}
 	}
 	for _, c := range r.pendingCredits {

@@ -78,7 +78,9 @@ func NewExecutorAligned(clock *Clock, tickers []Ticker, workers, align int) *Exe
 		}
 		e.work = make(chan workItem, len(e.chunks))
 		for i := 0; i < workers; i++ {
-			go e.worker()
+			// The channel is passed as an argument: workers must not read
+			// the e.work field, which Close nils on the caller's goroutine.
+			go e.worker(e.work)
 		}
 	}
 	return e
@@ -87,8 +89,8 @@ func NewExecutorAligned(clock *Clock, tickers []Ticker, workers, align int) *Exe
 // Workers returns the effective worker count (>= 1).
 func (e *Executor) Workers() int { return e.workers }
 
-func (e *Executor) worker() {
-	for item := range e.work {
+func (e *Executor) worker(work chan workItem) {
+	for item := range work {
 		e.tickRange(item)
 		e.wg.Done()
 	}
