@@ -21,12 +21,15 @@ fmt:
 	gofmt -l -w .
 
 # bench runs the reproducible performance harness on the full windows
-# and writes BENCH_PR3.json (schema tdmnoc-bench/v1; see README for how
+# and writes BENCH_PR5.json (schema tdmnoc-bench/v2; see README for how
 # to read it). -strict makes it a gate: nonzero exit on hot-path
-# allocations or a serial-vs-parallel digest mismatch.
+# allocations, a digest mismatch at any worker count, or a missing
+# parallel speedup on machines with the cores to show one. -baseline
+# additionally fails on a >15% serial ns/cycle regression against the
+# committed PR3 report.
 bench:
-	$(GO) run ./cmd/bench -strict -o BENCH_PR3.json
+	$(GO) run ./cmd/bench -strict -o BENCH_PR5.json -baseline BENCH_PR3.json
 
 # bench-quick is the CI smoke variant: shorter windows, same gates.
 bench-quick:
-	$(GO) run ./cmd/bench -quick -strict -o BENCH_PR3.json
+	$(GO) run ./cmd/bench -quick -strict -o BENCH_PR5.json -baseline BENCH_PR3.json

@@ -3,20 +3,34 @@
 // Fig. 4 (6x6 synthetic load curves) and Fig. 6 (8x8 scalability)
 // configurations, measures wall time and allocator traffic per
 // simulated cycle, cross-checks the serial-vs-parallel determinism
-// digests, and writes everything as one JSON document (schema
-// "tdmnoc-bench/v1", see README).
+// digests, measures parallel-executor scaling, and writes everything as
+// one JSON document (schema "tdmnoc-bench/v2" — v1 plus the "parallel"
+// section; see README).
 //
 // Usage:
 //
-//	go run ./cmd/bench [-o BENCH_PR3.json] [-quick] [-strict]
+//	go run ./cmd/bench [-o BENCH_PR5.json] [-quick] [-strict]
+//	                   [-baseline BENCH_PR3.json] [-max-regression 0.15]
 //
 // -quick shortens the warmup/measure windows for CI smoke use.
 // -strict exits nonzero when the steady-state hot path allocates (any
 // 6x6 scenario above zeroAllocBudget allocs/cycle, with or without the
-// observability recorder attached) or when a determinism digest
-// mismatches — the CI regression gate. One scenario is re-run with
-// tracing enabled and its ns/cycle delta against the untraced baseline
-// is reported in the "traced" section.
+// observability recorder attached), when a determinism digest
+// mismatches, or when the parallel-scaling gates fail — the CI
+// regression gate. One scenario is re-run with tracing enabled and its
+// ns/cycle delta against the untraced baseline is reported in the
+// "traced" section.
+//
+// The "parallel" section measures the spin-barrier executor at worker
+// counts {1, 2, 4, 8} on 6x6 and 16x16 hybrid-TDM meshes, reporting
+// ns/cycle, speedup over serial, allocs/cycle, and whether the run's
+// determinism digest matches the serial one. Speedup is only gated when
+// the machine actually has the cores (GOMAXPROCS >= workers); digest
+// equality is gated unconditionally.
+//
+// -baseline compares this run's serial Fig. 4 ns/cycle against a
+// previously committed report and exits nonzero when any scenario
+// regressed by more than -max-regression (fractional, default 0.15).
 package main
 
 import (
@@ -40,6 +54,28 @@ type Report struct {
 	Scenarios  []Scenario       `json:"scenarios"`
 	Traced     []TracedScenario `json:"traced"`
 	Digests    []DigestCheck    `json:"determinism"`
+	Parallel   []ParallelPoint  `json:"parallel"`
+}
+
+// ParallelPoint is one (mesh, worker-count) measurement of the parallel
+// executor's scaling behaviour.
+type ParallelPoint struct {
+	Name    string `json:"name"`
+	Width   int    `json:"width"`
+	Height  int    `json:"height"`
+	Workers int    `json:"workers"`
+
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	SerialNs       float64 `json:"serial_ns_per_cycle"`
+	Speedup        float64 `json:"speedup"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	// DigestMatch reports whether a checked run at this worker count
+	// reproduced the serial run's rolling digest bit-for-bit.
+	DigestMatch bool `json:"digest_match"`
+	// SpeedupMeasurable is false when the machine has fewer cores than
+	// workers (GOMAXPROCS < workers): the goroutines then time-share one
+	// core and speedup is meaningless, so the strict gate skips it.
+	SpeedupMeasurable bool `json:"speedup_measurable"`
 }
 
 // Scenario is one measured configuration.
@@ -107,6 +143,7 @@ type spec struct {
 	mode          hsnoc.Mode
 	pattern       hsnoc.Pattern
 	rate          float64
+	workers       int // 0 = serial
 }
 
 func specConfig(sp spec) hsnoc.Config {
@@ -117,6 +154,9 @@ func specConfig(sp spec) hsnoc.Config {
 	}
 	cfg.VCPowerGating = true
 	cfg.Seed = 7
+	if sp.workers > 1 {
+		cfg.Workers = sp.workers
+	}
 	return cfg
 }
 
@@ -249,13 +289,13 @@ func buildReport(quick bool) Report {
 		warmup, cycles, digestCycles = 20000, 6000, 600
 	}
 	specs := []spec{
-		{"fig4-ps-tornado-0.20", "fig4", 6, 6, hsnoc.PacketSwitched, hsnoc.Tornado, 0.20},
-		{"fig4-tdm-tornado-0.20", "fig4", 6, 6, hsnoc.HybridTDM, hsnoc.Tornado, 0.20},
-		{"fig4-tdm-uniform-0.35", "fig4", 6, 6, hsnoc.HybridTDM, hsnoc.UniformRandom, 0.35},
-		{"fig6-tdm-transpose-0.20", "fig6", 8, 8, hsnoc.HybridTDM, hsnoc.Transpose, 0.20},
+		{"fig4-ps-tornado-0.20", "fig4", 6, 6, hsnoc.PacketSwitched, hsnoc.Tornado, 0.20, 0},
+		{"fig4-tdm-tornado-0.20", "fig4", 6, 6, hsnoc.HybridTDM, hsnoc.Tornado, 0.20, 0},
+		{"fig4-tdm-uniform-0.35", "fig4", 6, 6, hsnoc.HybridTDM, hsnoc.UniformRandom, 0.35, 0},
+		{"fig6-tdm-transpose-0.20", "fig6", 8, 8, hsnoc.HybridTDM, hsnoc.Transpose, 0.20, 0},
 	}
 	r := Report{
-		Schema:     "tdmnoc-bench/v1",
+		Schema:     "tdmnoc-bench/v2",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Quick:      quick,
@@ -277,6 +317,45 @@ func buildReport(quick bool) Report {
 		d := checkDigest(sp, digestCycles)
 		fmt.Printf("%-26s serial=%s workers4=%s match=%v\n", d.Name, d.SerialDigest, d.Workers4, d.Match)
 		r.Digests = append(r.Digests, d)
+	}
+	// Parallel scaling: the spin-barrier executor at 1/2/4/8 workers on a
+	// small and a large hybrid-TDM mesh. The 6x6 points document that
+	// parallelism does not pay below ~16x16; the 16x16 points carry the
+	// speedup gate. Every parallel point also re-derives the determinism
+	// digest so a scheduling bug cannot hide behind a fast wrong answer.
+	for _, base := range []spec{
+		{name: "scale-tdm-6x6-tornado-0.20", figure: "scaling", width: 6, height: 6,
+			mode: hsnoc.HybridTDM, pattern: hsnoc.Tornado, rate: 0.20},
+		{name: "scale-tdm-16x16-tornado-0.20", figure: "scaling", width: 16, height: 16,
+			mode: hsnoc.HybridTDM, pattern: hsnoc.Tornado, rate: 0.20},
+	} {
+		serialDigest, _ := digestRun(base, 1, digestCycles)
+		var serialNs float64
+		for _, w := range []int{1, 2, 4, 8} {
+			sp := base
+			sp.workers = w
+			sc := measure(sp, warmup, cycles)
+			if w == 1 {
+				serialNs = sc.NsPerCycle
+			}
+			match := true
+			if w > 1 {
+				d, ok := digestRun(base, w, digestCycles)
+				match = ok && d == serialDigest
+			}
+			pt := ParallelPoint{
+				Name: base.name, Width: base.width, Height: base.height, Workers: w,
+				NsPerCycle: sc.NsPerCycle, SerialNs: serialNs,
+				Speedup:        serialNs / sc.NsPerCycle,
+				AllocsPerCycle: sc.AllocsPerCycle,
+				DigestMatch:    match,
+				SpeedupMeasurable: w == 1 ||
+					runtime.GOMAXPROCS(0) >= w,
+			}
+			fmt.Printf("%-28s w=%d %9.1f ns/cycle  speedup %.2fx  %7.4f allocs/cycle  digest_match=%v\n",
+				pt.Name, pt.Workers, pt.NsPerCycle, pt.Speedup, pt.AllocsPerCycle, pt.DigestMatch)
+			r.Parallel = append(r.Parallel, pt)
+		}
 	}
 	return r
 }
@@ -307,13 +386,52 @@ func strictViolations(r Report) []string {
 			out = append(out, fmt.Sprintf("%s: runtime invariant violations detected", d.Name))
 		}
 	}
+	for _, p := range r.Parallel {
+		if !p.DigestMatch {
+			out = append(out, fmt.Sprintf("%s w=%d: determinism digest diverged from serial", p.Name, p.Workers))
+		}
+		// The headline acceptance point: 4 workers on the 16x16 mesh must
+		// be at least 2x faster than serial — but only on machines that
+		// can physically run 4 workers in parallel.
+		if p.Workers == 4 && p.Width >= 16 && p.SpeedupMeasurable && p.Speedup < 2.0 {
+			out = append(out, fmt.Sprintf("%s w=%d: speedup %.2fx below the 2x floor", p.Name, p.Workers, p.Speedup))
+		}
+	}
+	return out
+}
+
+// baselineViolations compares this run's serial Fig. 4 ns/cycle numbers
+// against a previously committed report, printing every ratio and
+// returning one entry per scenario that regressed beyond maxRegress
+// (fractional; 0.15 = 15% slower). Only Fig. 4 scenarios are gated:
+// they are the serial hot-path anchors the zero-alloc budget also uses.
+func baselineViolations(r, base Report, maxRegress float64) []string {
+	baseNs := make(map[string]float64, len(base.Scenarios))
+	for _, sc := range base.Scenarios {
+		baseNs[sc.Name] = sc.NsPerCycle
+	}
+	var out []string
+	for _, sc := range r.Scenarios {
+		old, ok := baseNs[sc.Name]
+		if !ok || old <= 0 {
+			continue
+		}
+		ratio := sc.NsPerCycle / old
+		fmt.Printf("%-26s baseline %9.1f ns/cycle  now %9.1f  ratio %.3f\n", sc.Name, old, sc.NsPerCycle, ratio)
+		if sc.Figure == "fig4" && ratio > 1+maxRegress {
+			out = append(out, fmt.Sprintf("%s: %.1f ns/cycle is %.1f%% over the %.1f ns/cycle baseline (max +%.0f%%)",
+				sc.Name, sc.NsPerCycle, 100*(ratio-1), old, 100*maxRegress))
+		}
+	}
 	return out
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR5.json", "output JSON path")
 	quick := flag.Bool("quick", false, "short windows for CI smoke runs")
-	strict := flag.Bool("strict", false, "exit nonzero on hot-path allocations or digest mismatch")
+	strict := flag.Bool("strict", false, "exit nonzero on hot-path allocations, digest mismatch, or scaling-gate failure")
+	baseline := flag.String("baseline", "", "committed report to gate serial Fig. 4 ns/cycle regressions against")
+	maxRegress := flag.Float64("max-regression", 0.15, "allowed fractional ns/cycle regression vs -baseline")
 	flag.Parse()
 
 	r := buildReport(*quick)
@@ -329,13 +447,34 @@ func main() {
 	}
 	fmt.Printf("wrote %s\n", *out)
 
+	fail := false
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: parsing %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		for _, msg := range baselineViolations(r, base, *maxRegress) {
+			fmt.Fprintln(os.Stderr, "bench: REGRESSION:", msg)
+			fail = true
+		}
+	}
 	if *strict {
 		if v := strictViolations(r); len(v) != 0 {
 			for _, msg := range v {
 				fmt.Fprintln(os.Stderr, "bench: STRICT FAIL:", msg)
 			}
-			os.Exit(1)
+			fail = true
+		} else {
+			fmt.Println("strict gate: ok")
 		}
-		fmt.Println("strict gate: ok")
+	}
+	if fail {
+		os.Exit(1)
 	}
 }

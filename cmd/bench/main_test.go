@@ -20,7 +20,7 @@ var tinySpec = spec{
 // consumer (CI artifact diffing, EXPERIMENTS.md tables) keys on.
 func TestReportJSONSchema(t *testing.T) {
 	r := Report{
-		Schema:     "tdmnoc-bench/v1",
+		Schema:     "tdmnoc-bench/v2",
 		GoVersion:  "go-test",
 		GOMAXPROCS: 1,
 		Quick:      true,
@@ -28,6 +28,11 @@ func TestReportJSONSchema(t *testing.T) {
 		Scenarios:  []Scenario{measure(tinySpec, 200, 100)},
 		Traced:     []TracedScenario{measureTraced(tinySpec, 200, 100, 1000)},
 		Digests:    []DigestCheck{checkDigest(tinySpec, 200)},
+		Parallel: []ParallelPoint{{
+			Name: "smoke-scale", Width: 4, Height: 4, Workers: 2,
+			NsPerCycle: 1, SerialNs: 2, Speedup: 2,
+			DigestMatch: true, SpeedupMeasurable: true,
+		}},
 	}
 	data, err := json.Marshal(r)
 	if err != nil {
@@ -38,10 +43,10 @@ func TestReportJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if got := doc["schema"]; got != "tdmnoc-bench/v1" {
-		t.Fatalf("schema = %v, want tdmnoc-bench/v1", got)
+	if got := doc["schema"]; got != "tdmnoc-bench/v2" {
+		t.Fatalf("schema = %v, want tdmnoc-bench/v2", got)
 	}
-	for _, key := range []string{"go_version", "gomaxprocs", "quick", "generated_at", "scenarios", "determinism"} {
+	for _, key := range []string{"go_version", "gomaxprocs", "quick", "generated_at", "scenarios", "determinism", "parallel"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("report missing top-level key %q", key)
 		}
@@ -95,6 +100,20 @@ func TestReportJSONSchema(t *testing.T) {
 			t.Errorf("digest check missing key %q", key)
 		}
 	}
+
+	parallel, ok := doc["parallel"].([]any)
+	if !ok || len(parallel) != 1 {
+		t.Fatalf("parallel = %v, want one entry", doc["parallel"])
+	}
+	p := parallel[0].(map[string]any)
+	for _, key := range []string{
+		"name", "width", "height", "workers", "ns_per_cycle", "serial_ns_per_cycle",
+		"speedup", "allocs_per_cycle", "digest_match", "speedup_measurable",
+	} {
+		if _, ok := p[key]; !ok {
+			t.Errorf("parallel point missing key %q", key)
+		}
+	}
 	if d["match"] != true {
 		t.Errorf("serial digest %v != workers4 digest %v on the smoke config",
 			d["serial_digest"], d["workers4_digest"])
@@ -125,6 +144,50 @@ func TestStrictViolations(t *testing.T) {
 	bad.Digests = []DigestCheck{{Name: "a", Match: false}}
 	if v := strictViolations(bad); len(v) != 4 {
 		t.Fatalf("violations = %v, want alloc + traced-alloc + mismatch + invariant entries", v)
+	}
+}
+
+// TestStrictParallelGates pins the scaling-section gate logic: digest
+// divergence always fails; a sub-2x speedup at 4 workers fails only on
+// a 16x16-or-larger mesh AND only when the machine has the cores.
+func TestStrictParallelGates(t *testing.T) {
+	cases := []struct {
+		p    ParallelPoint
+		want int
+	}{
+		{ParallelPoint{Workers: 4, Width: 16, Speedup: 2.4, DigestMatch: true, SpeedupMeasurable: true}, 0},
+		{ParallelPoint{Workers: 4, Width: 16, Speedup: 1.4, DigestMatch: true, SpeedupMeasurable: true}, 1},
+		{ParallelPoint{Workers: 4, Width: 16, Speedup: 1.4, DigestMatch: true, SpeedupMeasurable: false}, 0},
+		{ParallelPoint{Workers: 4, Width: 6, Speedup: 0.4, DigestMatch: true, SpeedupMeasurable: true}, 0},
+		{ParallelPoint{Workers: 2, Width: 16, Speedup: 1.1, DigestMatch: false, SpeedupMeasurable: true}, 1},
+	}
+	for i, c := range cases {
+		if v := strictViolations(Report{Parallel: []ParallelPoint{c.p}}); len(v) != c.want {
+			t.Errorf("case %d: violations = %v, want %d", i, v, c.want)
+		}
+	}
+}
+
+// TestBaselineViolations pins the -baseline regression gate: only
+// Fig. 4 scenarios are gated, only beyond the allowed fraction, and
+// scenarios absent from the baseline are ignored.
+func TestBaselineViolations(t *testing.T) {
+	base := Report{Scenarios: []Scenario{
+		{Name: "a", Figure: "fig4", NsPerCycle: 1000},
+		{Name: "b", Figure: "fig6", NsPerCycle: 1000},
+	}}
+	now := Report{Scenarios: []Scenario{
+		{Name: "a", Figure: "fig4", NsPerCycle: 1100}, // +10%: within a 15% budget
+		{Name: "b", Figure: "fig6", NsPerCycle: 9000}, // fig6 is informational
+		{Name: "c", Figure: "fig4", NsPerCycle: 9000}, // not in baseline
+	}}
+	if v := baselineViolations(now, base, 0.15); len(v) != 0 {
+		t.Fatalf("within-budget report flagged: %v", v)
+	}
+	now.Scenarios[0].NsPerCycle = 1200 // +20%
+	v := baselineViolations(now, base, 0.15)
+	if len(v) != 1 {
+		t.Fatalf("violations = %v, want exactly the fig4 regression", v)
 	}
 }
 

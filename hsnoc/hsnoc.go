@@ -502,6 +502,7 @@ func (s *Simulator) UtilizationGrid() [][]float64 {
 	if s.net == nil {
 		return nil
 	}
+	s.net.SyncMeters() // include leakage of cycles active-node scheduling skipped
 	m := s.net.Mesh()
 	grid := make([][]float64, m.Height)
 	for y := 0; y < m.Height; y++ {

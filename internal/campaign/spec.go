@@ -63,8 +63,11 @@ type Spec struct {
 	WarmupCycles  int `json:"warmup_cycles,omitempty"`
 	MeasureCycles int `json:"measure_cycles,omitempty"`
 	// SimWorkers sets per-simulation executor parallelism (default 1;
-	// results are identical for any value, so it is not a grid axis and
-	// does not enter cache keys).
+	// results are bit-identical for any value — the barrier executor
+	// and active-node scheduler are digest-verified against serial — so
+	// it is not a grid axis and does not enter cache keys). Campaigns
+	// usually saturate cores with concurrent jobs instead, but on large
+	// meshes with spare cores per job it is now a real speedup knob.
 	SimWorkers int `json:"sim_workers,omitempty"`
 	// TelemetryEvery, when positive, attaches a per-job observability
 	// recorder sampling every K cycles; its deterministic Summary rides

@@ -21,6 +21,13 @@ type Config struct {
 	Seed uint64
 	// Workers selects executor parallelism (1 = serial; results identical).
 	Workers int
+	// AlwaysTick disables active-node scheduling, ticking every router
+	// and NI every phase regardless of quiescence. Results are identical
+	// either way (skipped ticks are provably state no-ops); equivalence
+	// tests use this to pin the skipping path against the exhaustive
+	// one, and it is the escape hatch if a future component breaks the
+	// quiescence contract.
+	AlwaysTick bool
 
 	// HybridSwitching enables NI-side circuit switching decisions; it
 	// requires Router.Hybrid.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tdmnoc/internal/hybrid"
+	"tdmnoc/internal/sim"
 	"tdmnoc/internal/topology"
 )
 
@@ -165,5 +166,123 @@ func TestFailedSetupReleasesReservedPrefix(t *testing.T) {
 	}
 	if n := net.InvariantCount(); n != 0 {
 		t.Errorf("%d invariant violations; first: %s", n, net.InvariantViolations()[0])
+	}
+}
+
+// TestDigestEquivalenceWorkerMatrix widens the serial-vs-parallel check
+// across worker counts and mesh sizes, including a 5x5 mesh whose 50
+// tickers do not divide evenly into the partitions (the last worker gets
+// a short span): any partitioning bug that only bites on ragged chunks
+// or high worker counts fails here.
+func TestDigestEquivalenceWorkerMatrix(t *testing.T) {
+	cases := []struct {
+		w, h    int
+		workers []int
+	}{
+		{6, 6, []int{2, 3, 8}},
+		{5, 5, []int{3, 8}},
+	}
+	for _, tc := range cases {
+		run := func(workers int) (uint64, int64) {
+			cfg := HybridTDMConfig(tc.w, tc.h).WithSharing()
+			cfg.Workers = workers
+			cfg.CheckInvariants = true
+			net := New(cfg, func(id topology.NodeID) Endpoint {
+				return &burst{count: 80, dstOf: reversePattern, allowCS: true, period: 5}
+			})
+			defer net.Close()
+			net.Run(900)
+			if n := net.InvariantCount(); n != 0 {
+				t.Fatalf("%dx%d workers=%d: %d invariant violations", tc.w, tc.h, workers, n)
+			}
+			return net.StateDigest(), net.InFlight()
+		}
+		serialDigest, serialInFlight := run(1)
+		for _, w := range tc.workers {
+			d, inf := run(w)
+			if d != serialDigest || inf != serialInFlight {
+				t.Errorf("%dx%d: workers=%d digest %016x (in-flight %d) != serial %016x (%d)",
+					tc.w, tc.h, w, d, inf, serialDigest, serialInFlight)
+			}
+		}
+	}
+}
+
+// TestAlwaysTickDigestEquivalence locksteps a normally scheduled run
+// against an AlwaysTick run of the same seeded config. The endpoints
+// send finite bursts, so the network goes almost fully idle during the
+// run — deep-sleep territory where a broken re-arm would diverge. Every
+// cycle's full-state digest must agree anyway: skipped ticks are
+// supposed to be exact no-ops.
+func TestAlwaysTickDigestEquivalence(t *testing.T) {
+	build := func(alwaysTick bool) *Network {
+		cfg := HybridTDMConfig(6, 6).WithSharing()
+		cfg.AlwaysTick = alwaysTick
+		cfg.CheckInvariants = true
+		return New(cfg, func(id topology.NodeID) Endpoint {
+			if int(id)%3 == 0 {
+				return &burst{count: 40, dstOf: reversePattern, allowCS: true, period: 9}
+			}
+			return nil // sink tiles: their NIs sleep between deliveries
+		})
+	}
+	sched, exhaustive := build(false), build(true)
+	defer sched.Close()
+	defer exhaustive.Close()
+	for c := 0; c < 1200; c++ {
+		sched.Step()
+		exhaustive.Step()
+		if ds, de := sched.StateDigest(), exhaustive.StateDigest(); ds != de {
+			t.Fatalf("state diverged at cycle %d: scheduled %016x, always-tick %016x", c, ds, de)
+		}
+	}
+	if n := sched.InvariantCount() + exhaustive.InvariantCount(); n != 0 {
+		t.Fatalf("%d invariant violations during equivalence run", n)
+	}
+}
+
+// TestQuiescentTickIsNoOp is the quiescence soundness check: force-tick
+// every node that reports Quiescent() and require the full-state digest
+// to be bit-identical afterwards. If any Quiescent implementation
+// over-reports (a node with hidden pending work claims to be idle), the
+// forced tick performs that work early and the digest moves.
+func TestQuiescentTickIsNoOp(t *testing.T) {
+	cfg := HybridTDMConfig(6, 6).WithSharing()
+	cfg.CheckInvariants = true
+	net := New(cfg, func(id topology.NodeID) Endpoint {
+		if int(id)%2 == 0 {
+			return &burst{count: 60, dstOf: reversePattern, allowCS: true, period: 7}
+		}
+		return nil
+	})
+	defer net.Close()
+	forced := 0
+	for step := 0; step < 800; step++ {
+		net.Step()
+		if step%20 != 0 {
+			continue
+		}
+		now := net.Now()
+		before := net.StateDigest()
+		for id := 0; id < net.Mesh().Nodes(); id++ {
+			nid := topology.NodeID(id)
+			if r := net.Router(nid); r.Quiescent() {
+				r.Tick(now, sim.PhaseCompute)
+				r.Tick(now, sim.PhaseTransfer)
+				forced++
+			}
+			if ni := net.NI(nid); ni.SchedState() != nil && ni.Quiescent() {
+				ni.Tick(now, sim.PhaseCompute)
+				ni.Tick(now, sim.PhaseTransfer)
+				forced++
+			}
+		}
+		if after := net.StateDigest(); after != before {
+			t.Fatalf("cycle %d: forced ticks of quiescent nodes changed state: %016x -> %016x",
+				int64(now), before, after)
+		}
+	}
+	if forced == 0 {
+		t.Fatal("no node ever reported quiescent; the soundness check never ran")
 	}
 }

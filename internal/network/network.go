@@ -104,6 +104,9 @@ func New(cfg Config, mk EndpointFactory) *Network {
 		tickers = append(tickers, n.routers[id], n.nis[id])
 	}
 	n.exec = sim.NewExecutorAligned(&n.clock, tickers, cfg.Workers, 2)
+	if cfg.AlwaysTick {
+		n.exec.SetAlwaysTick(true)
+	}
 	if cfg.CheckInvariants {
 		n.checker = invariant.NewChecker(cfg.CheckInterval)
 	}
@@ -203,6 +206,10 @@ func (n *Network) manage() {
 	}
 	if n.resizeAt != 0 && now >= n.resizeAt {
 		for _, r := range n.routers {
+			// The reset changes the powered slot-entry count the static
+			// leakage integral depends on; flush the lazily-accrued
+			// cycles at the old size first.
+			r.SyncStatics(now)
 			r.ResetCircuits(n.resizeTo, n.epoch)
 		}
 		for _, ni := range n.nis {
@@ -211,6 +218,9 @@ func (n *Network) manage() {
 		n.slotActive = n.resizeTo
 		n.resizeAt = 0
 		n.csFrozen = false
+		// The reset mutated every router and NI outside the tick loop;
+		// re-arm them all so no node sleeps through it.
+		n.exec.WakeAll()
 	}
 }
 
@@ -232,7 +242,11 @@ func (n *Network) EnableStats() {
 	for _, ni := range n.nis {
 		ni.Stats.Enabled = true
 	}
+	now := n.clock.Now()
 	for _, r := range n.routers {
+		// Flush lazily-accrued pre-measurement cycles into the meter
+		// being discarded, so they cannot leak into the fresh one.
+		r.SyncStatics(now)
 		r.Meter().Reset()
 		// Re-count the static link channels lost in the reset.
 		lc := int64(1)
@@ -254,9 +268,21 @@ func (n *Network) Stats() stats.Collector {
 	return out
 }
 
+// SyncMeters brings every router's lazily-accrued static energy up to
+// the current cycle. Callers reading meters directly (rather than via
+// Energy, which syncs itself) must call this first, or skipped-cycle
+// leakage since the router's last tick is missing from the numbers.
+func (n *Network) SyncMeters() {
+	now := n.clock.Now()
+	for _, r := range n.routers {
+		r.SyncStatics(now)
+	}
+}
+
 // Energy merges every router's meter into one breakdown and adds the
 // NI-side DLT access energy to the circuit-switching component.
 func (n *Network) Energy() power.Breakdown {
+	n.SyncMeters()
 	var out power.Breakdown
 	for _, r := range n.routers {
 		out = out.Add(r.Meter().Report(n.cfg.Power))

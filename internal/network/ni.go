@@ -22,6 +22,18 @@ type Endpoint interface {
 	OnDeliver(now sim.Cycle, ni *NI, pkt *flit.Packet)
 }
 
+// QuiescentEndpoint is an optional Endpoint extension for active-node
+// scheduling. An endpoint whose Tick is an exact state no-op while idle
+// (no RNG draws, no counters, no time-dependent behaviour) may report
+// Quiescent()==true, letting the executor skip its NI's ticks until
+// traffic re-arms the node. Endpoints that draw randomness or otherwise
+// mutate state every cycle must not implement this (or must return
+// false), because skipping their ticks would change results. NIs whose
+// endpoint does not implement the interface are simply never skipped.
+type QuiescentEndpoint interface {
+	Quiescent() bool
+}
+
 // SendOptions qualifies one message handed to NI.Send.
 type SendOptions struct {
 	// Class labels the traffic (CPU / GPU / other).
@@ -141,6 +153,19 @@ type NI struct {
 	r   *router.Router
 	rng *sim.RNG
 	ep  Endpoint
+	// epQ is ep's QuiescentEndpoint view, cached at construction (nil
+	// when the endpoint cannot be skipped). canSleep is false when the
+	// endpoint must tick every cycle, in which case the NI opts out of
+	// scheduling entirely (SchedState returns nil) — paying per-tick
+	// scheduling overhead on a node that can never skip buys nothing.
+	epQ      QuiescentEndpoint
+	canSleep bool
+
+	// node is this NI's scheduling word; rnode is the co-located
+	// router's, armed when the NI stages an injection onto the local
+	// link during its transfer phase.
+	node  sim.NodeState
+	rnode *sim.NodeState
 
 	Stats stats.Collector
 
@@ -212,8 +237,39 @@ func newNI(id topology.NodeID, net *Network, r *router.Router, rng *sim.RNG, ep 
 	if net.cfg.Sharing {
 		ni.dlt = hybrid.NewDLT(net.cfg.Router.DLTEntries)
 	}
+	ni.epQ, _ = ep.(QuiescentEndpoint)
+	ni.canSleep = ep == nil || ni.epQ != nil
+	ni.rnode = r.SchedState()
 	r.AttachLocal(ni)
+	r.AttachLocalSched(ni.SchedState())
 	return ni
+}
+
+// SchedState implements sim.ActiveTicker. An NI whose endpoint must tick
+// every cycle returns nil, opting out of scheduling: the executor then
+// ticks it unconditionally with zero scheduling overhead.
+func (ni *NI) SchedState() *sim.NodeState {
+	if !ni.canSleep {
+		return nil
+	}
+	return &ni.node
+}
+
+// Quiescent implements sim.ActiveTicker: both NI phases are exact state
+// no-ops when nothing is staged, queued, streaming or awaiting
+// reassembly — and the endpoint itself is skippable. External events
+// that end the quiescence arm the node at their source: the router arms
+// it when writing the local ejection latch or a DLT event, and Send
+// wakes it directly.
+func (ni *NI) Quiescent() bool {
+	if ni.ep != nil && (ni.epQ == nil || !ni.epQ.Quiescent()) {
+		return false
+	}
+	if ni.staged != nil || ni.cur != nil || ni.csCur != nil {
+		return false
+	}
+	return ni.psQ.len() == 0 && len(ni.csJobs) == 0 &&
+		len(ni.rx) == 0 && len(ni.dltEventBuf) == 0
 }
 
 // ID returns the tile this NI serves.
@@ -272,6 +328,9 @@ func (ni *NI) Tick(now sim.Cycle, phase sim.Phase) {
 		if ni.staged != nil {
 			ni.r.StageLocalInject(ni.staged)
 			ni.staged = nil
+			// The router must run next cycle's compute to accept the
+			// staged flit; it may be asleep.
+			ni.rnode.ArmNext(now, sim.PhaseTransfer)
 		}
 		if ni.dlt != nil {
 			ni.dltEventBuf = ni.r.DrainDLTEvents(ni.dltEventBuf[:0])
@@ -456,6 +515,14 @@ func (ni *NI) handleAck(now sim.Cycle, pkt *flit.Packet) {
 // decision: ride an own circuit, hitchhike a passing circuit, hop off near
 // the destination via vicinity sharing, or fall back to packet switching.
 func (ni *NI) Send(now sim.Cycle, dst topology.NodeID, opt SendOptions) *flit.Packet {
+	// Send may be called from outside the tick loop (tests and protocol
+	// drivers inject between Run calls); a sleeping NI must wake to
+	// carry the message. Calls from the NI's own endpoint tick are
+	// covered too: the wake is monotone and the post-tick quiescence
+	// probe re-checks the queues it fills.
+	if ni.canSleep {
+		ni.node.Wake(ni.net.clock.Now())
+	}
 	cfg := &ni.net.cfg
 	size := cfg.PSDataFlits
 	if opt.SizeFlits > 0 {

@@ -37,6 +37,7 @@ func (n *Network) AttachProbe(p obs.Probe, sampleEvery int) {
 
 // sampleTelemetry emits the periodic gauge events (see AttachProbe).
 func (n *Network) sampleTelemetry(now int64) {
+	n.SyncMeters() // energy gauges must include skipped-cycle leakage
 	for id, r := range n.routers {
 		n.probe.Emit(obs.Event{Cycle: now, Kind: obs.KindVCOccupancy,
 			Node: int32(id), Val: int64(r.BufferedFlits())})

@@ -80,6 +80,7 @@ func (r *Router) acceptCS(now sim.Cycle, p topology.Port, f *flit.Flit) {
 		slot := r.tables.SlotOf(int64(now))
 		dur := r.tables.DurationAt(p, slot, int64(now))
 		r.dltEvents = append(r.dltEvents, DLTEvent{Add: true, Dst: f.Pkt.Dst, Slot: slot, Dur: dur, In: p})
+		r.armLocalNI(now)
 	}
 	r.emit(Event{Cycle: int64(now), Kind: EvCSBypass, In: p, Out: out, PktID: f.Pkt.ID, Seq: f.Seq, Slot: r.tables.SlotOf(int64(now))})
 	if r.probe != nil {
@@ -113,6 +114,7 @@ func (r *Router) switchTraversal(now sim.Cycle) bool {
 			r.csPending[o] = nil
 			if ou.latch == nil {
 				ou.latch = f
+				r.armConsumer(o, now)
 				r.meter.XbarFlits++
 				r.meter.CSLatches++
 				r.meter.LinkFlits++
@@ -130,12 +132,32 @@ func (r *Router) switchTraversal(now sim.Cycle) bool {
 			}
 			ou.latch = ou.stReg
 			ou.stReg = nil
+			r.armConsumer(o, now)
 			r.meter.XbarFlits++
 			r.meter.LinkFlits++
 			did = true
 		}
 	}
 	return did
+}
+
+// armConsumer arms whoever pulls from out[o].latch (the downstream
+// router, or the co-located NI for the Local port) for this cycle's
+// transfer phase. Called from compute-phase latch writes: the consumer
+// may be asleep, and the transfer contract is pull-based, so the
+// producer is the only party that knows a pull is needed.
+func (r *Router) armConsumer(o topology.Port, now sim.Cycle) {
+	if st := r.armOut[o]; st != nil {
+		st.ArmNext(now, sim.PhaseCompute)
+	}
+}
+
+// armLocalNI arms the co-located NI for this cycle's transfer phase —
+// the phase in which it drains the router's DLT event queue.
+func (r *Router) armLocalNI(now sim.Cycle) {
+	if st := r.armOut[topology.Local]; st != nil {
+		st.ArmNext(now, sim.PhaseCompute)
+	}
 }
 
 // routeCompute runs the RC stage for every input VC whose head flit is
@@ -282,6 +304,7 @@ func (r *Router) processTeardown(now sim.Cycle, p topology.Port, vc *inputVC) {
 	}
 	if r.cfg.Sharing {
 		r.dltEvents = append(r.dltEvents, DLTEvent{Add: false, Dst: pkt.Dst})
+		r.armLocalNI(now)
 	}
 	if out != topology.Local {
 		cfgp.Slot = (cfgp.Slot + 2) % r.tables.Active()

@@ -71,6 +71,28 @@ type Router struct {
 	publishedVCLimit int
 
 	meter power.RouterMeter
+	// accruedTo is the first cycle whose static leakage has not yet been
+	// integrated into the meter. Active-node scheduling may skip a
+	// quiescent router for many cycles; the next tick (or an explicit
+	// SyncStatics at an observation point) accrues the whole idle gap in
+	// one step, keeping Energy() exact without per-cycle meter writes.
+	accruedTo sim.Cycle
+
+	// node is this router's scheduling word for active-node scheduling;
+	// armOut[p] is the word of whoever consumes out[p].latch (the
+	// downstream router for mesh ports, the co-located NI for Local), so
+	// writing a latch can arm its consumer for the same cycle's transfer
+	// phase. Entries are nil when the consumer is not scheduled (e.g.
+	// routers driven directly by unit-test harnesses).
+	node   sim.NodeState
+	armOut [topology.NumPorts]*sim.NodeState
+	// canSleep is false for configurations whose compute tick is never a
+	// state no-op (VC power gating observes utilisation every cycle).
+	canSleep bool
+	// lastActive is the activity bit of the most recent compute tick
+	// (pipeline work done or flits buffered); Quiescent uses it to skip
+	// its full state scan while the router is busy.
+	lastActive bool
 
 	// Diagnostics: protocol invariant violations (must stay zero in every
 	// well-formed experiment; tests assert on them).
@@ -128,8 +150,76 @@ func New(id topology.NodeID, m topology.Mesh, cfg Config) *Router {
 	} else if cfg.VCGating {
 		r.gate = hybrid.DefaultVCGate(cfg.VCs)
 	}
+	// A gating router mutates observation state (and possibly activeVCs)
+	// every compute tick, so its ticks are never state no-ops and it must
+	// not be skipped.
+	r.canSleep = r.gate == nil && r.latGate == nil
 	r.meter.LinkChannels = 1 // local ejection channel; Connect adds more
 	return r
+}
+
+// SchedState implements sim.ActiveTicker.
+func (r *Router) SchedState() *sim.NodeState { return &r.node }
+
+// Quiescent implements sim.ActiveTicker: it reports whether both phases
+// would be exact state no-ops, so the executor may skip this router
+// until an external event re-arms it. Everything listed here is state
+// the pipeline acts on each cycle; neighbor-owned triggers (an upstream
+// latch addressed to us, a credit return) arm the node explicitly at
+// their write sites instead of being polled here.
+func (r *Router) Quiescent() bool {
+	// Fast path: a compute tick that did pipeline work or saw buffered
+	// flits just recorded it; the full scan below is only worth running
+	// once the router looks idle. (False negatives are always safe — the
+	// node ticks once more and is probed again.)
+	if !r.canSleep || r.lastActive {
+		return false
+	}
+	if len(r.pendingCredits) != 0 || len(r.dltEvents) != 0 {
+		return false
+	}
+	if r.tables != nil && r.tables.ReservedEntries() != 0 {
+		return false
+	}
+	for p := range r.in {
+		iu := &r.in[p]
+		if iu.latch != nil || iu.linkReg != nil {
+			return false
+		}
+		for v := range iu.vcs {
+			vc := &iu.vcs[v]
+			if !vc.empty() || vc.state != vcIdle {
+				return false
+			}
+		}
+	}
+	for o := range r.out {
+		if r.out[o].latch != nil || r.out[o].stReg != nil || r.csPending[o] != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// SyncStatics accrues the static leakage of all not-yet-integrated
+// cycles before now into the meter, treating them as idle — which they
+// were: only skipped (quiescent) cycles accumulate in the gap, and the
+// per-cycle static terms are constant across a quiescent stretch
+// (activeVCs cannot change without gating, and ActivePoweredEntries
+// only changes at a network-wide reset, which syncs first). Called at
+// meter observation points (energy report, stats reset, slot resize).
+func (r *Router) SyncStatics(now sim.Cycle) {
+	gap := int64(now - r.accruedTo)
+	if gap <= 0 {
+		return
+	}
+	r.accruedTo = now
+	r.meter.Cycles += gap
+	r.meter.BufSlotCycles += gap * int64(r.activeVCs*r.cfg.BufDepth*int(topology.NumPorts))
+	if r.tables != nil {
+		r.meter.SlotEntryCycles += gap * int64(r.tables.ActivePoweredEntries())
+		r.meter.CSCycles += gap
+	}
 }
 
 // ID returns the router's node id.
@@ -149,11 +239,17 @@ func (r *Router) Connect(p topology.Port, n *Router) {
 	}
 	r.neighbors[p] = n
 	r.out[p].connected = true
+	r.armOut[p] = n.SchedState()
 	r.meter.LinkChannels++
 }
 
 // AttachLocal registers the NI credit sink for the local input port.
 func (r *Router) AttachLocal(s CreditSink) { r.localSink = s }
+
+// AttachLocalSched registers the co-located NI's scheduling word: the
+// consumer of out[Local].latch and of the DLT event queue, armed
+// whenever the router hands it work.
+func (r *Router) AttachLocalSched(st *sim.NodeState) { r.armOut[topology.Local] = st }
 
 // Tables exposes the hybrid slot tables (nil for packet-switched routers).
 func (r *Router) Tables() *hybrid.RouterTables { return r.tables }
@@ -247,7 +343,9 @@ func (r *Router) compute(now sim.Cycle) {
 	r.vcAllocate(now)
 	busy = r.switchAllocate(now) || busy
 	r.updateVCGating(now)
-	r.accrueStatics(busy || r.anyBuffered())
+	busy = busy || r.anyBuffered()
+	r.lastActive = busy
+	r.accrueStatics(now, busy)
 }
 
 // transfer moves flits across this router's incoming links and returns
@@ -310,8 +408,13 @@ func (r *Router) anyBuffered() bool {
 	return false
 }
 
-// accrueStatics integrates leakage state for this cycle.
-func (r *Router) accrueStatics(busy bool) {
+// accrueStatics integrates leakage state for this cycle, catching up on
+// any cycles active-node scheduling skipped since the last tick (those
+// were idle by definition — see SyncStatics for why the static terms
+// are constant across the gap).
+func (r *Router) accrueStatics(now sim.Cycle, busy bool) {
+	r.SyncStatics(now)
+	r.accruedTo = now + 1
 	r.meter.Cycles++
 	if busy {
 		r.meter.ActiveCycles++

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheLinePad separates hot atomics so that the arrival counter (written
+// by every participant once per phase) and the generation word (spun on by
+// every participant) never share a cache line with each other or with
+// neighboring executor state.
+const cacheLinePad = 64
+
+// barrierSpinBudget is how many generation-word loads a waiter performs
+// before parking on the condition variable. Phases on the meshes this
+// simulator targets take a handful of microseconds, so the common case is
+// that the spin succeeds; parking only kicks in when workers outnumber
+// CPUs or a phase is unusually long, where burning cycles would slow the
+// straggler down further.
+const barrierSpinBudget = 8192
+
+// spinBudget is the per-barrier effective spin budget: on a single-CPU
+// machine no other participant can make progress while this one spins, so
+// waiters go straight to the yield/park path instead of burning the only
+// core's quantum on loads that cannot succeed.
+func spinBudget() int {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return barrierSpinBudget
+	}
+	return 0
+}
+
+// barrierSpinYield is how often a spinning waiter offers its P to the
+// scheduler, so oversubscribed worker counts (tests request more workers
+// than CPUs) still make progress through the spin window.
+const barrierSpinYield = 256
+
+// phaseBarrier is a sense-reversing barrier for a fixed set of
+// participants. Arrival is one atomic add; the last arriver publishes a
+// new generation and wakes any parked waiters. Waiters spin on the
+// generation word for barrierSpinBudget loads, then park on a condition
+// variable. There are no per-phase channel sends or sync.WaitGroup
+// re-arms: the same barrier object is reused every phase of every cycle.
+type phaseBarrier struct {
+	parties int32
+	spin    int
+
+	_       [cacheLinePad]byte
+	arrived atomic.Int32
+	_       [cacheLinePad]byte
+	gen     atomic.Uint32
+	_       [cacheLinePad]byte
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func newPhaseBarrier(parties int) *phaseBarrier {
+	b := &phaseBarrier{parties: int32(parties), spin: spinBudget()}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all parties have called await for the current
+// generation. The generation is read before arrival: a party arrives
+// exactly once per generation, so the generation cannot advance between
+// the load and the add (the advance requires this party's own arrival).
+func (b *phaseBarrier) await() {
+	gen := b.gen.Load()
+	if b.arrived.Add(1) == b.parties {
+		// Last arriver: reset the count for the next generation before
+		// publishing the new generation, so released waiters arriving at
+		// the next phase barrier see a zero count. The generation store
+		// happens under the mutex so a waiter cannot check the
+		// generation, decide to park, and miss the broadcast.
+		b.arrived.Store(0)
+		b.mu.Lock()
+		b.gen.Store(gen + 1)
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for i := 0; i < b.spin; i++ {
+		if b.gen.Load() != gen {
+			return
+		}
+		if i%barrierSpinYield == barrierSpinYield-1 {
+			runtime.Gosched()
+		}
+	}
+	// One free yield before paying for the mutex/cond park: on a
+	// single-CPU machine this is usually all it takes for the remaining
+	// parties to arrive.
+	runtime.Gosched()
+	if b.gen.Load() != gen {
+		return
+	}
+	b.mu.Lock()
+	for b.gen.Load() == gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

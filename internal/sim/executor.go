@@ -4,44 +4,76 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
-// Executor drives a set of Tickers through cycles, either serially or with
-// a fixed worker pool. Both modes produce bit-identical simulation results
-// because each phase is barrier-separated and Tickers only touch disjoint
-// state within a phase (see Phase).
+// The armed-slot parity scheme in NodeState assumes exactly two phases
+// per cycle; this fails to compile if NumPhases ever changes.
+var _ = [1]struct{}{}[NumPhases-2]
+
+// Executor drives a set of Tickers through cycles, either serially or
+// with a fixed worker pool. Both modes produce bit-identical simulation
+// results because each phase is barrier-separated and Tickers only touch
+// disjoint state within a phase (see Phase).
+//
+// Parallel stepping uses one reusable sense-reversing barrier and static
+// per-worker partitions: the caller's goroutine executes partition 0 and
+// workers execute the rest, rendezvousing NumPhases+1 times per cycle
+// (a start gate plus one barrier after each phase). There are no
+// per-phase channel sends or WaitGroup re-arms on the hot path.
+//
+// Tickers implementing ActiveTicker additionally participate in
+// active-node scheduling: a node whose Quiescent() held after its last
+// tick is skipped until an external event re-arms it (see NodeState).
+// Skipping never changes results because Quiescent is only allowed to
+// hold when both phases would be exact state no-ops.
 type Executor struct {
 	clock   *Clock
 	tickers []Ticker
+	// sched and active run parallel to tickers: sched[i] is the
+	// scheduling word of tickers[i] (nil = always tick), active[i] the
+	// ActiveTicker view for the post-tick Quiescent probe. Both are nil
+	// slices when no ticker opted into scheduling.
+	sched  []*NodeState
+	active []ActiveTicker
+	// alwaysTick disables skipping (every node ticks every phase); used
+	// by equivalence tests to pin the skipping path against the
+	// exhaustive one.
+	alwaysTick bool
 
 	workers int
-	// chunks holds the precomputed [lo, hi) ticker ranges dispatched each
-	// phase, so the per-phase loop only stamps (now, phase) onto ready
-	// items instead of re-deriving the partition every cycle.
-	chunks []workItem
-	// wg and work are reused across cycles to avoid per-cycle allocation.
-	work chan workItem
-	wg   sync.WaitGroup
+	parts   []partition
+	barrier *phaseBarrier
+	// curNow carries the cycle being executed from the caller to the
+	// workers; it is written before the start-gate arrival and read
+	// after the release, so the barrier's atomics order it.
+	curNow   Cycle
+	shutdown atomic.Bool
+	closed   bool
+	wg       sync.WaitGroup
 
-	// A panic inside a worker goroutine would otherwise kill the whole
-	// process, bypassing any recover the caller (e.g. a campaign job)
-	// has installed on its own goroutine. Workers latch the first panic
-	// here and runPhase re-raises it on the caller's goroutine.
+	// A panic inside any participant would otherwise either kill the
+	// process (worker goroutine) or abandon the other participants at a
+	// phase barrier (caller goroutine). Every participant latches the
+	// first panic here, keeps arriving at the cycle's remaining
+	// barriers, and the caller re-raises it after the last barrier.
+	hasPanic   atomic.Bool
 	panicMu    sync.Mutex
 	panicked   any
 	panicStack []byte
 }
 
-type workItem struct {
+// partition is one worker's static [lo, hi) span of the ticker slice,
+// padded so adjacent partitions never share a cache line.
+type partition struct {
 	lo, hi int
-	now    Cycle
-	phase  Phase
+	_      [cacheLinePad - 16]byte
 }
 
 // NewExecutor creates an executor over tickers. workers <= 1 selects the
-// serial path; workers > 1 spawns that many goroutines which persist for
-// the executor's lifetime. Parallelism only pays off for large meshes
-// (>= 16x16); small networks should use workers == 1.
+// serial path; workers > 1 spawns workers-1 goroutines which persist for
+// the executor's lifetime (the caller's goroutine executes the first
+// partition itself).
 //
 // The requested worker count is honored even beyond the machine's CPU
 // count (the goroutines just time-share): results are bit-identical for
@@ -54,10 +86,11 @@ func NewExecutor(clock *Clock, tickers []Ticker, workers int) *Executor {
 	return NewExecutorAligned(clock, tickers, workers, 1)
 }
 
-// NewExecutorAligned is NewExecutor with chunk boundaries rounded up to a
-// multiple of align. Callers whose ticker slice interleaves entities of
-// one tile (router then NI) pass the interleaving factor so a tile never
-// straddles two workers, keeping each worker's working set local.
+// NewExecutorAligned is NewExecutor with partition boundaries rounded up
+// to a multiple of align. Callers whose ticker slice interleaves
+// entities of one tile (router then NI) pass the interleaving factor so
+// a tile never straddles two workers, keeping each worker's working set
+// local.
 func NewExecutorAligned(clock *Clock, tickers []Ticker, workers, align int) *Executor {
 	if workers < 1 {
 		workers = 1
@@ -69,18 +102,36 @@ func NewExecutorAligned(clock *Clock, tickers []Ticker, workers, align int) *Exe
 		align = 1
 	}
 	e := &Executor{clock: clock, tickers: tickers, workers: workers}
+	for i, t := range tickers {
+		at, ok := t.(ActiveTicker)
+		if !ok {
+			continue
+		}
+		st := at.SchedState()
+		if st == nil {
+			continue
+		}
+		if e.sched == nil {
+			e.sched = make([]*NodeState, len(tickers))
+			e.active = make([]ActiveTicker, len(tickers))
+		}
+		e.sched[i] = st
+		e.active[i] = at
+	}
+	e.WakeAll()
 	if workers > 1 {
 		n := len(tickers)
 		chunk := (n + workers - 1) / workers
 		chunk = (chunk + align - 1) / align * align
-		for lo := 0; lo < n; lo += chunk {
-			e.chunks = append(e.chunks, workItem{lo: lo, hi: min(lo+chunk, n)})
+		e.parts = make([]partition, workers)
+		for i := range e.parts {
+			lo := min(i*chunk, n)
+			e.parts[i] = partition{lo: lo, hi: min(lo+chunk, n)}
 		}
-		e.work = make(chan workItem, len(e.chunks))
-		for i := 0; i < workers; i++ {
-			// The channel is passed as an argument: workers must not read
-			// the e.work field, which Close nils on the caller's goroutine.
-			go e.worker(e.work)
+		e.barrier = newPhaseBarrier(workers)
+		e.wg.Add(workers - 1)
+		for i := 1; i < workers; i++ {
+			go e.workerLoop(i)
 		}
 	}
 	return e
@@ -89,18 +140,54 @@ func NewExecutorAligned(clock *Clock, tickers []Ticker, workers, align int) *Exe
 // Workers returns the effective worker count (>= 1).
 func (e *Executor) Workers() int { return e.workers }
 
-func (e *Executor) worker(work chan workItem) {
-	for item := range work {
-		e.tickRange(item)
-		e.wg.Done()
+// WakeAll re-arms every scheduled node for the clock's current cycle.
+// Management code that mutates node state outside the tick loop (e.g. a
+// network-wide slot-table reset) calls this so no node sleeps through
+// the change. Must not be called while a Step is in flight.
+func (e *Executor) WakeAll() {
+	now := e.clock.Now()
+	for _, st := range e.sched {
+		if st != nil {
+			st.Wake(now)
+		}
 	}
 }
 
-// tickRange runs one work item, converting a Ticker panic into a latched
-// value instead of a process crash. Only the first panic is kept; once a
-// panic is latched the tickers' state is inconsistent and the executor
-// must not be reused, so later panics add no information.
-func (e *Executor) tickRange(item workItem) {
+// SetAlwaysTick disables (true) or re-enables (false) active-node
+// scheduling. With scheduling re-enabled, every node is re-armed so
+// nothing sleeps through states reached while skipping was off. Test
+// hook; must not be called while a Step is in flight.
+func (e *Executor) SetAlwaysTick(v bool) {
+	e.alwaysTick = v
+	if !v {
+		e.WakeAll()
+	}
+}
+
+func (e *Executor) workerLoop(part int) {
+	defer e.wg.Done()
+	for {
+		e.barrier.await() // start gate
+		if e.shutdown.Load() {
+			return
+		}
+		now := e.curNow
+		for p := Phase(0); p < Phase(NumPhases); p++ {
+			e.runPart(part, now, p)
+			e.barrier.await()
+		}
+	}
+}
+
+// runPart executes one partition of one phase, converting a Ticker panic
+// into a latched value instead of a process crash or a barrier deadlock.
+// Only the first panic is kept; once a panic is latched the tickers'
+// state is inconsistent and the executor must not be reused, so later
+// panics add no information and remaining partitions stop ticking.
+func (e *Executor) runPart(part int, now Cycle, phase Phase) {
+	if e.hasPanic.Load() {
+		return
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			stack := debug.Stack()
@@ -110,18 +197,97 @@ func (e *Executor) tickRange(item workItem) {
 				e.panicStack = stack
 			}
 			e.panicMu.Unlock()
+			e.hasPanic.Store(true)
 		}
 	}()
-	for i := item.lo; i < item.hi; i++ {
-		e.tickers[i].Tick(item.now, item.phase)
+	pt := e.parts[part]
+	e.tickSpan(pt.lo, pt.hi, now, phase)
+}
+
+// tickSpan is the scheduling hot loop: tick every armed node in
+// [lo, hi) for the given phase, then re-arm it for the next phase.
+//
+// The Quiescent probe (which decides NOT to re-arm) runs only after
+// PhaseCompute ticks: during compute every write is node-local, so the
+// probe can read the node's state race-free. During transfer, neighbors
+// legitimately write into a node (latch pulls, credit returns, local
+// staging), so a post-transfer probe would race; instead a ticked node
+// is unconditionally re-armed for the next compute, whose probe then
+// puts it to sleep if it is truly idle — one extra no-op tick per sleep
+// transition.
+func (e *Executor) tickSpan(lo, hi int, now Cycle, phase Phase) {
+	tickers := e.tickers
+	if e.sched == nil || e.alwaysTick {
+		for i := lo; i < hi; i++ {
+			tickers[i].Tick(now, phase)
+		}
+		return
+	}
+	pc := phaseCounter(now, phase)
+	sched := e.sched
+	if phase == PhaseCompute {
+		active := e.active
+		for i := lo; i < hi; i++ {
+			st := sched[i]
+			if st == nil {
+				tickers[i].Tick(now, phase)
+				continue
+			}
+			if !st.runnable(pc) {
+				continue
+			}
+			tickers[i].Tick(now, phase)
+			if !active[i].Quiescent() {
+				st.armNext(pc)
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		st := sched[i]
+		if st == nil {
+			tickers[i].Tick(now, phase)
+			continue
+		}
+		if !st.runnable(pc) {
+			continue
+		}
+		tickers[i].Tick(now, phase)
+		st.armNext(pc)
 	}
 }
 
 // Step executes one full cycle (all phases) and advances the clock.
 func (e *Executor) Step() {
+	if e.closed {
+		panic("sim: Step on closed Executor")
+	}
 	now := e.clock.Now()
+	if e.workers <= 1 {
+		for p := Phase(0); p < Phase(NumPhases); p++ {
+			e.tickSpan(0, len(e.tickers), now, p)
+		}
+		e.clock.Advance()
+		return
+	}
+	e.curNow = now
+	e.barrier.await() // start gate: release workers into this cycle
 	for p := Phase(0); p < Phase(NumPhases); p++ {
-		e.runPhase(now, p)
+		e.runPart(0, now, p)
+		e.barrier.await()
+	}
+	// Re-raise a participant panic on the caller's goroutine so per-job
+	// containment (campaign's recover) sees it. This happens after the
+	// cycle's final barrier — the workers are already parked at the next
+	// start gate, so a deferred Close still shuts them down cleanly —
+	// and before the clock advances, pinning the panicking cycle. The
+	// latched value stays set: the executor's state is inconsistent
+	// after a panic and it must not be stepped again.
+	if e.hasPanic.Load() {
+		e.panicMu.Lock()
+		p, stack := e.panicked, e.panicStack
+		e.panicMu.Unlock()
+		panic(fmt.Sprintf("sim: worker panic: %v\n%s", p, stack))
 	}
 	e.clock.Advance()
 }
@@ -152,35 +318,18 @@ func (e *Executor) RunUntil(done func() bool, limit int) (cycles int, ok bool) {
 	return limit, false
 }
 
-// Close releases the worker pool. The executor must not be used afterwards.
+// Close shuts down the worker pool and waits for every worker goroutine
+// to exit, so no goroutines leak. Close is idempotent; any Step after
+// Close panics (before this contract the executor silently fell back to
+// the serial path, masking use-after-close bugs).
 func (e *Executor) Close() {
-	if e.work != nil {
-		close(e.work)
-		e.work = nil
-	}
-}
-
-func (e *Executor) runPhase(now Cycle, phase Phase) {
-	if e.workers <= 1 || e.work == nil {
-		for i := range e.tickers {
-			e.tickers[i].Tick(now, phase)
-		}
+	if e.closed {
 		return
 	}
-	e.wg.Add(len(e.chunks))
-	for _, c := range e.chunks {
-		c.now, c.phase = now, phase
-		e.work <- c
-	}
-	e.wg.Wait()
-	// Re-raise a worker panic on the caller's goroutine so per-job
-	// containment (campaign's recover) sees it. The latched value stays
-	// set: the executor's state is inconsistent after a panic and it
-	// must not be stepped again.
-	e.panicMu.Lock()
-	p, stack := e.panicked, e.panicStack
-	e.panicMu.Unlock()
-	if p != nil {
-		panic(fmt.Sprintf("sim: worker panic: %v\n%s", p, stack))
+	e.closed = true
+	if e.workers > 1 {
+		e.shutdown.Store(true)
+		e.barrier.await() // trip the start gate so parked workers observe shutdown
+		e.wg.Wait()
 	}
 }

@@ -1,0 +1,90 @@
+package sim
+
+import "sync/atomic"
+
+// NodeState is the executor-side scheduling word for one ActiveTicker.
+// It records, per phase parity, the latest phase counter the node is
+// armed for; the executor skips a node whose slot is older than the
+// phase being run.
+//
+// The phase counter for (cycle now, phase p) is pc = now*NumPhases + p.
+// Slot pc&1 answers "is the node armed for phase pc?"; the other slot is
+// the write side: every arm performed DURING phase pc targets the
+// successor phase and stores the single value pc+1 into slot (pc+1)&1.
+// Within one phase the read slot is never written and the write slot is
+// written only with that one value, so concurrent arms from any number
+// of neighbors are race-free and order-independent — exactly what the
+// determinism contract needs. Values in a slot are monotonically
+// increasing, so a node that went quiescent at phase pc simply stops
+// comparing >= current and is skipped until someone arms it again.
+// NodeState carries no cache-line padding: states are embedded in the
+// routers and NIs they schedule — large, separately heap-allocated
+// structs — so two nodes' words never share a line anyway, and padding
+// would only bloat every node's working set.
+type NodeState struct {
+	armed [2]atomic.Uint64
+}
+
+// phaseCounter maps (cycle, phase) onto the monotonically increasing
+// per-phase counter the armed slots are compared against.
+func phaseCounter(now Cycle, phase Phase) uint64 {
+	return uint64(now)*uint64(NumPhases) + uint64(phase)
+}
+
+// runnable reports whether the node is armed for phase pc.
+func (s *NodeState) runnable(pc uint64) bool {
+	return s.armed[pc&1].Load() >= pc
+}
+
+// armNext arms the node for the phase following pc. Safe to call from
+// any worker while phase pc is running: the target slot is the current
+// phase's write slot and every concurrent caller stores the same value.
+func (s *NodeState) armNext(pc uint64) {
+	s.armed[(pc+1)&1].Store(pc + 1)
+}
+
+// ArmNext arms the node for the phase immediately following
+// (now, phase). Components call this while phase (now, phase) is being
+// executed, at the moment they hand the node work: a router writing its
+// output latch arms the downstream node for the same cycle's transfer
+// phase; an NI staging an injection during transfer arms its router for
+// the next cycle's compute phase.
+func (s *NodeState) ArmNext(now Cycle, phase Phase) {
+	s.armNext(phaseCounter(now, phase))
+}
+
+// Wake arms the node for both phases of cycle now. It must only be
+// called between cycles (no Step in flight) — from external entry points
+// such as an NI accepting a Send between Run calls, or management code
+// that mutates node state outside the tick loop. The max-guard keeps the
+// slots monotone if the node is already armed further ahead.
+func (s *NodeState) Wake(now Cycle) {
+	for p := Phase(0); p < Phase(NumPhases); p++ {
+		pc := phaseCounter(now, p)
+		if s.armed[pc&1].Load() < pc {
+			s.armed[pc&1].Store(pc)
+		}
+	}
+}
+
+// ActiveTicker is a Ticker that participates in active-node scheduling.
+// The executor skips a quiescent node's ticks entirely, so Quiescent
+// must only report true when both phases would be exact state no-ops:
+// ticking a quiescent node any number of times must leave every bit of
+// simulation-visible state (everything the invariant digest hashes)
+// unchanged, and any external event that ends the quiescence must arm
+// the node via SchedState before the phase in which the node must act.
+type ActiveTicker interface {
+	Ticker
+	// SchedState returns the node's scheduling word. The returned
+	// pointer must be stable for the ticker's lifetime. Returning nil
+	// opts the ticker out of scheduling (it then ticks every phase).
+	SchedState() *NodeState
+	// Quiescent reports whether the node can skip ticks until re-armed.
+	// The executor calls it on the ticking goroutine immediately after a
+	// PhaseCompute tick only — the phase in which every write is
+	// node-local — so it may read the node's own state without
+	// synchronization. Nodes ticked in other phases are re-armed
+	// unconditionally.
+	Quiescent() bool
+}
