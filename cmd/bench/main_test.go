@@ -123,19 +123,28 @@ func TestReportJSONSchema(t *testing.T) {
 	}
 }
 
-// TestStrictViolations pins the gate logic: fig4 scenarios are gated on
-// hot-path allocations, every digest pair on match + invariants.
+// TestStrictViolations pins the gate logic: every scenario — fig4 and
+// fig6 alike — is gated on hot-path allocations, every digest pair on
+// match + invariants.
 func TestStrictViolations(t *testing.T) {
 	ok := Report{
 		Scenarios: []Scenario{
 			{Name: "a", Figure: "fig4", HotPathZeroAlloc: true},
-			{Name: "b", Figure: "fig6", HotPathZeroAlloc: false}, // fig6 is informational
+			{Name: "b", Figure: "fig6", HotPathZeroAlloc: true},
 		},
 		Traced:  []TracedScenario{{Name: "a", TracedZeroAlloc: true}},
 		Digests: []DigestCheck{{Name: "a", Match: true, InvariantsOK: true}},
 	}
 	if v := strictViolations(ok); len(v) != 0 {
 		t.Fatalf("clean report flagged: %v", v)
+	}
+
+	// A fig6 miniature allocating on the hot path now fails the gate
+	// just like a fig4 one: the pools scale with mesh area.
+	leaky := ok
+	leaky.Scenarios = []Scenario{{Name: "b", Figure: "fig6", AllocsPerCycle: 0.25}}
+	if v := strictViolations(leaky); len(v) != 1 {
+		t.Fatalf("violations = %v, want the fig6 alloc entry", v)
 	}
 
 	bad := ok

@@ -16,8 +16,19 @@
 //	curl -s localhost:8080/buildinfo                 # Go version, VCS revision of this binary
 //	go tool pprof localhost:8080/debug/pprof/profile # live CPU profile (-pprof=false to disable)
 //
-// SIGINT/SIGTERM drains gracefully: no new jobs start, in-flight jobs
-// finish and persist, then the server exits.
+// Fleet modes turn nocsimd instances into a distributed fabric
+// (see internal/fleet):
+//
+//	nocsimd -coordinator -addr :8080 -data ./coord-data
+//	nocsimd -worker http://localhost:8080 -addr :8081
+//	nocsimd -worker http://localhost:8080 -addr :8082
+//
+//	curl -s -X POST localhost:8080/fleet/campaigns -d '{"tenant":"me","spec":{...}}'
+//	curl -s localhost:8080/fleet/campaigns/<id>/summary
+//
+// SIGINT/SIGTERM drains gracefully: new submits are refused with 503 +
+// Retry-After, no new jobs or leases start, in-flight work finishes and
+// persists, then the process exits.
 package main
 
 import (
@@ -29,8 +40,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
+
+	"tdmnoc/internal/campaign"
+	"tdmnoc/internal/fleet"
 )
 
 func main() {
@@ -40,6 +55,12 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "per-job timeout (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max wait for in-flight jobs on shutdown")
 	enablePprof := flag.Bool("pprof", true, "serve net/http/pprof profiles under /debug/pprof/")
+
+	coordinator := flag.Bool("coordinator", false, "serve the fleet control plane under /fleet/ (sharded store in <data>/fleet)")
+	workerURL := flag.String("worker", "", "run as a fleet worker pulling shards from this coordinator URL")
+	shardSize := flag.Int("shard-size", 16, "coordinator: jobs per lease")
+	leaseTTL := flag.Duration("lease-ttl", 45*time.Second, "coordinator: lease expiry without renewal")
+	tenantQuota := flag.Int("tenant-quota", 100_000, "coordinator: max outstanding jobs per tenant")
 	flag.Parse()
 
 	if err := os.MkdirAll(*data, 0o755); err != nil {
@@ -48,6 +69,39 @@ func main() {
 	}
 
 	s := newServer(*data, *workers, *jobTimeout)
+
+	var store *campaign.ShardedStore
+	if *coordinator {
+		var err error
+		store, err = campaign.OpenShardedStore(filepath.Join(*data, "fleet"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocsimd: %v\n", err)
+			os.Exit(1)
+		}
+		s.coord, err = fleet.NewCoordinator(fleet.Options{
+			Store:       store,
+			ShardSize:   *shardSize,
+			LeaseTTL:    *leaseTTL,
+			TenantQuota: *tenantQuota,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocsimd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *workerURL != "" {
+		w, err := fleet.NewWorker(fleet.WorkerOptions{
+			Coordinator: *workerURL,
+			Workers:     *workers,
+			JobTimeout:  *jobTimeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocsimd: %v\n", err)
+			os.Exit(1)
+		}
+		s.fworker = w
+	}
+
 	mux := s.routes()
 	if *enablePprof {
 		// Campaigns run long enough that profiling a live daemon is the
@@ -65,9 +119,31 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The worker loop gets its own context: on SIGTERM it drains (Drain
+	// lets the in-flight shard finish and post) rather than aborting
+	// mid-shard; the hard cancel only fires if the drain times out.
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	workerDone := make(chan struct{})
+	if s.fworker != nil {
+		go func() {
+			defer close(workerDone)
+			s.fworker.Run(wctx)
+		}()
+		fmt.Printf("nocsimd: worker pulling from %s\n", *workerURL)
+	} else {
+		close(workerDone)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("nocsimd: listening on %s, data dir %s\n", *addr, *data)
+	role := "standalone"
+	if *coordinator {
+		role = "coordinator"
+	} else if *workerURL != "" {
+		role = "worker"
+	}
+	fmt.Printf("nocsimd: %s listening on %s, data dir %s\n", role, *addr, *data)
 
 	select {
 	case err := <-errCh:
@@ -78,9 +154,20 @@ func main() {
 	case <-ctx.Done():
 		fmt.Println("nocsimd: draining in-flight jobs...")
 		s.drainAll(*drainTimeout)
+		select {
+		case <-workerDone:
+		case <-time.After(*drainTimeout):
+			wcancel() // drain timed out; abandon the shard (it re-leases)
+		}
+		if s.coord != nil {
+			s.coord.WaitCompactions()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
+		if store != nil {
+			store.Close()
+		}
 		fmt.Println("nocsimd: stopped")
 	}
 }

@@ -9,9 +9,11 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tdmnoc/internal/campaign"
+	"tdmnoc/internal/fleet"
 	"tdmnoc/internal/obs"
 )
 
@@ -19,10 +21,23 @@ import (
 // own engine and runs in a background goroutine; results persist to a
 // per-spec JSONL store in dataDir, so re-submitting a spec — after a
 // completed run, a cancel, or a crash — resumes from whatever finished.
+//
+// With -coordinator the server additionally mounts the fleet control
+// plane (see internal/fleet) under /fleet/; with -worker it runs a
+// fleet worker loop alongside. Either way /metrics carries the extra
+// counters.
 type server struct {
 	dataDir    string
 	workers    int
 	jobTimeout time.Duration
+
+	// draining flips when shutdown starts: new submits are refused with
+	// 503 + Retry-After so load balancers and retrying clients move on
+	// immediately instead of racing the drain window.
+	draining atomic.Bool
+
+	coord   *fleet.Coordinator // non-nil in -coordinator mode
+	fworker *fleet.Worker      // non-nil in -worker mode
 
 	mu        sync.Mutex
 	campaigns map[string]*run
@@ -94,6 +109,9 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.coord != nil {
+		s.coord.Register(mux)
+	}
 	return mux
 }
 
@@ -113,6 +131,13 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // returns immediately with the campaign id; progress is polled via
 // GET /campaigns/{id}.
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// Refuse with the standard backoff hint: the process is on its
+		// way out and a campaign accepted now would be killed mid-run.
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusServiceUnavailable, "nocsimd is draining; retry against another instance")
+		return
+	}
 	spec, err := campaign.ParseSpec(r.Body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -409,12 +434,36 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "nocsimd_setup_latency_cycles_bucket{le=\"+Inf\"} %d\n", telem.SetupCount)
 	fmt.Fprintf(w, "nocsimd_setup_latency_cycles_sum %d\n", telem.SetupSum)
 	fmt.Fprintf(w, "nocsimd_setup_latency_cycles_count %d\n", telem.SetupCount)
+	draining := 0
+	if s.draining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(w, "# HELP nocsimd_draining Whether this instance is draining (1 = refusing new submits).\n# TYPE nocsimd_draining gauge\nnocsimd_draining %d\n", draining)
+	if s.coord != nil {
+		s.coord.WriteMetrics(w)
+	}
+	if s.fworker != nil {
+		fmt.Fprintf(w, "# HELP nocsimd_worker_shards_done Fleet shards completed by this worker.\n# TYPE nocsimd_worker_shards_done counter\nnocsimd_worker_shards_done %d\n", s.fworker.ShardsDone.Load())
+		fmt.Fprintf(w, "# HELP nocsimd_worker_shards_failed Fleet shards abandoned by this worker.\n# TYPE nocsimd_worker_shards_failed counter\nnocsimd_worker_shards_failed %d\n", s.fworker.ShardsFailed.Load())
+		fmt.Fprintf(w, "# HELP nocsimd_worker_jobs_run Fleet jobs executed by this worker.\n# TYPE nocsimd_worker_jobs_run counter\nnocsimd_worker_jobs_run %d\n", s.fworker.JobsRun.Load())
+		fmt.Fprintf(w, "# HELP nocsimd_worker_lease_errors Failed lease pulls (coordinator unreachable).\n# TYPE nocsimd_worker_lease_errors counter\nnocsimd_worker_lease_errors %d\n", s.fworker.LeaseErrors.Load())
+	}
 }
 
 // drainAll tells every engine to stop launching jobs and waits (up to
 // timeout) for in-flight jobs to land and persist — the graceful half
-// of shutdown.
+// of shutdown. New submits are refused with 503 from the moment it is
+// called; in -coordinator mode leasing stops too (workers see an empty
+// queue and idle), and in -worker mode the pull loop exits after its
+// current shard.
 func (s *server) drainAll(timeout time.Duration) {
+	s.draining.Store(true)
+	if s.coord != nil {
+		s.coord.Drain()
+	}
+	if s.fworker != nil {
+		s.fworker.Drain()
+	}
 	s.mu.Lock()
 	var waits []chan struct{}
 	for _, c := range s.campaigns {

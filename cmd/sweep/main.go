@@ -7,15 +7,29 @@
 // Sweeps execute on the campaign engine; pass -results sweep.jsonl to
 // persist records so an interrupted or repeated sweep resumes from the
 // finished points instead of recomputing them.
+//
+// With -fleet the sweep is submitted to a fleet coordinator instead of
+// simulating locally: the jobs fan out across the coordinator's
+// workers, the records come back through its content-addressed store
+// (so repeated sweeps are served from cache), and the CSV is identical
+// to a local run:
+//
+//	sweep -fleet http://localhost:8080 -mode tdm -pattern tornado
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"time"
 
 	"tdmnoc/internal/campaign"
+	"tdmnoc/internal/fleet"
 	"tdmnoc/internal/textplot"
 )
 
@@ -35,6 +49,8 @@ func main() {
 	check := flag.Bool("check", false, "run the per-cycle invariant checker on every job (slower, never changes results)")
 	results := flag.String("results", "", "persist records to this JSONL file (enables resume and caching)")
 	plot := flag.Bool("plot", false, "render ASCII load-latency and energy charts after the CSV")
+	fleetURL := flag.String("fleet", "", "submit to this fleet coordinator URL instead of simulating locally")
+	tenant := flag.String("tenant", "", "tenant name for -fleet submissions")
 	flag.Parse()
 
 	if *step <= 0 || *to < *from {
@@ -65,17 +81,26 @@ func main() {
 		os.Exit(2)
 	}
 
-	var store *campaign.Store
-	if *results != "" {
-		store, err = campaign.OpenStore(*results)
+	var recs []campaign.Record
+	if *fleetURL != "" {
+		recs, err = runOnFleet(*fleetURL, *tenant, spec, len(jobs))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 			os.Exit(1)
 		}
-		defer store.Close()
+	} else {
+		var store *campaign.Store
+		if *results != "" {
+			store, err = campaign.OpenStore(*results)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer store.Close()
+		}
+		eng := campaign.New(campaign.Options{Store: store})
+		recs = eng.Run(context.Background(), jobs)
 	}
-	eng := campaign.New(campaign.Options{Store: store})
-	recs := eng.Run(context.Background(), jobs)
 
 	failed := 0
 	fmt.Println("offered,accepted,payload_accepted,net_latency,total_latency,cs_fraction,energy_pj")
@@ -112,4 +137,84 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// runOnFleet submits the spec to the coordinator, waits for the
+// campaign to finish, and fetches the records in job order — the same
+// order a local engine run returns, so the CSV lines up with rates.
+// Quota (429) and drain (503) rejections honour Retry-After.
+func runOnFleet(base, tenant string, spec campaign.Spec, jobs int) ([]campaign.Record, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	body, err := json.Marshal(fleet.SubmitRequest{Tenant: tenant, Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+
+	var sub fleet.SubmitResponse
+	for {
+		resp, err := client.Post(base+"/fleet/campaigns", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("submit to fleet: %w", err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+			wait := 15 * time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				var secs int
+				if _, err := fmt.Sscanf(s, "%d", &secs); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "sweep: coordinator busy (%d), retrying in %v\n", resp.StatusCode, wait)
+			time.Sleep(wait)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			return nil, fmt.Errorf("submit to fleet: status %d: %s", resp.StatusCode, b)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sub)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("decode submit response: %w", err)
+		}
+		break
+	}
+	fmt.Fprintf(os.Stderr, "sweep: fleet campaign %s (%d jobs, %d shards, %d cached)\n",
+		sub.ID, sub.Jobs, sub.Shards, sub.CachedShards)
+
+	for {
+		var st fleet.CampaignStatus
+		if err := getJSON(client, base+"/fleet/campaigns/"+sub.ID, &st); err != nil {
+			return nil, err
+		}
+		if st.State == "done" {
+			break
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	var recs []campaign.Record
+	if err := getJSON(client, base+"/fleet/campaigns/"+sub.ID+"/results", &recs); err != nil {
+		return nil, err
+	}
+	if len(recs) != jobs {
+		return nil, fmt.Errorf("fleet returned %d records, want %d", len(recs), jobs)
+	}
+	return recs, nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }

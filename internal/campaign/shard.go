@@ -1,0 +1,50 @@
+package campaign
+
+import "fmt"
+
+// Shard identifies one contiguous slice of a spec's deterministic job
+// list. Shards are the unit of fleet distribution: a coordinator
+// leases shard indices, and workers re-derive the jobs locally from
+// (spec, index, size) — the job list is a pure function of the
+// normalized spec, so no job payloads ever cross the wire and every
+// party necessarily agrees on what shard i contains.
+type Shard struct {
+	// Index is the 0-based shard number within the campaign.
+	Index int `json:"index"`
+	// Size is the campaign's shard size (jobs per shard; the last
+	// shard may be shorter).
+	Size int `json:"size"`
+}
+
+// NumShards is the shard count of the spec's job grid at the given
+// shard size (0 for an invalid spec or non-positive size).
+func (s Spec) NumShards(size int) int {
+	if size <= 0 {
+		return 0
+	}
+	n := s.Jobs()
+	return (n + size - 1) / size
+}
+
+// ShardJobs expands shard index of the spec's deterministic job list
+// at the given shard size. The expansion order is identical on every
+// host (see Expand), so a coordinator and any worker derive the same
+// jobs for the same (spec, index, size) triple.
+func (s Spec) ShardJobs(index, size int) ([]Job, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("campaign: shard size %d invalid", size)
+	}
+	jobs, err := s.Expand()
+	if err != nil {
+		return nil, err
+	}
+	lo := index * size
+	if index < 0 || lo >= len(jobs) {
+		return nil, fmt.Errorf("campaign: shard %d out of range (%d jobs, size %d)", index, len(jobs), size)
+	}
+	hi := lo + size
+	if hi > len(jobs) {
+		hi = len(jobs)
+	}
+	return jobs[lo:hi], nil
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -23,6 +24,10 @@ type Store struct {
 	f     *os.File
 	path  string
 	cache map[string]Record
+	// lines counts every non-empty line in the backing file (including
+	// duplicates from concurrent writers and re-run fleet shards); the
+	// excess over len(cache) is the dead weight Compact reclaims.
+	lines int
 }
 
 // OpenStore opens (creating if needed) the JSONL store at path and
@@ -43,6 +48,7 @@ func OpenStore(path string) (*Store, error) {
 	for {
 		line, rerr := br.ReadBytes('\n')
 		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			s.lines++
 			var r Record
 			switch jerr := json.Unmarshal(trimmed, &r); {
 			case jerr != nil && rerr == nil:
@@ -105,7 +111,92 @@ func (s *Store) Append(r Record) error {
 	if _, err := s.f.Write(b); err != nil {
 		return fmt.Errorf("campaign: append record: %w", err)
 	}
+	s.lines++
 	s.cache[r.Key] = r
+	return nil
+}
+
+// AppendNew persists the record only when its key is not already
+// cached, reporting whether a write happened. This is the
+// content-addressed dedup the fleet path relies on: records are pure
+// functions of their jobs, so a second record for a cached key (a
+// re-leased shard completed twice, two workers racing) is byte-equal
+// to the first and persisting it would only create dead weight.
+func (s *Store) AppendNew(r Record) (bool, error) {
+	s.mu.Lock()
+	_, dup := s.cache[r.Key]
+	s.mu.Unlock()
+	if dup {
+		return false, nil
+	}
+	if err := s.Append(r); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Dead reports how many persisted lines are no longer live records —
+// duplicates from concurrent writers plus torn trailers. The fleet
+// coordinator compacts a shard when this grows past its live count.
+func (s *Store) Dead() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lines - len(s.cache)
+}
+
+// Compact rewrites the backing file to exactly the live records, in
+// key order, dropping duplicate and torn lines. The rewrite goes
+// through a temp file and a rename, so a crash mid-compaction leaves
+// either the old file or the new one — never a half-written store.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("campaign: store %s is closed", s.path)
+	}
+	keys := make([]string, 0, len(s.cache))
+	for k := range s.cache {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	tmp := s.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	for _, k := range keys {
+		b, err := json.Marshal(s.cache[k])
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("campaign: compact store: encode %s: %w", k, err)
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("campaign: compact store: %w", err)
+	}
+	nf, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		// The compacted file is in place but we lost the append handle;
+		// surface it — subsequent Appends would fail anyway.
+		return fmt.Errorf("campaign: reopen compacted store: %w", err)
+	}
+	s.f.Close()
+	s.f = nf
+	s.lines = len(s.cache)
 	return nil
 }
 

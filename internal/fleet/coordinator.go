@@ -1,0 +1,521 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdmnoc/internal/campaign"
+	"tdmnoc/internal/stats"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Store is the content-addressed sharded result store (required).
+	Store *campaign.ShardedStore
+	// ShardSize is the number of jobs per lease (0 = 16). Smaller
+	// shards steal better; larger shards amortise lease traffic.
+	ShardSize int
+	// LeaseTTL is how long a worker may go without renewing before its
+	// shard is re-queued (0 = 45s).
+	LeaseTTL time.Duration
+	// TenantQuota bounds a tenant's outstanding (queued + leased) jobs;
+	// submits past it are rejected with a QuotaError (0 = 100_000).
+	TenantQuota int
+	// TenantWeights sets default fair-share weights per tenant
+	// (unlisted tenants weigh 1; a submit's Weight field overrides).
+	TenantWeights map[string]float64
+	// RetryAfter is the backoff hint attached to quota and drain
+	// rejections (0 = 15s).
+	RetryAfter time.Duration
+	// Now is the clock (nil = time.Now). Tests inject a fake to drive
+	// lease expiry deterministically.
+	Now func() time.Time
+}
+
+// ErrDraining rejects submits while the coordinator drains.
+var ErrDraining = errors.New("fleet: coordinator is draining")
+
+// QuotaError rejects a submit that would exceed the tenant's quota.
+type QuotaError struct {
+	Tenant      string
+	Outstanding int
+	Requested   int
+	Quota       int
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("fleet: tenant %q quota exceeded: %d outstanding + %d requested > %d",
+		e.Tenant, e.Outstanding, e.Requested, e.Quota)
+}
+
+// fleetCampaign is the coordinator's state for one admitted campaign.
+type fleetCampaign struct {
+	id       string
+	tenant   string
+	specHash string
+	spec     campaign.Spec
+	jobs     int
+
+	shardSize int
+	shardKeys [][]string // job cache keys, per shard, in expansion order
+	done      []bool
+	doneCount int
+	leased    map[int]string // shard -> active lease id
+	failed    int            // job failures reported by completions
+}
+
+func (fc *fleetCampaign) finished() bool { return fc.doneCount == len(fc.shardKeys) }
+
+// allKeys flattens the per-shard key lists back into job order.
+func (fc *fleetCampaign) allKeys() []string {
+	keys := make([]string, 0, fc.jobs)
+	for _, sk := range fc.shardKeys {
+		keys = append(keys, sk...)
+	}
+	return keys
+}
+
+// Coordinator is the fleet's control plane: it admits campaigns,
+// serves shard leases to pulling workers, persists completions into
+// the sharded store, and re-queues the shards of workers that stop
+// renewing. All state mutations run under one mutex — the work is
+// bookkeeping; the heavy lifting (simulation) is the workers' problem
+// and storage I/O is the store's.
+type Coordinator struct {
+	opt Options
+
+	mu        sync.Mutex
+	campaigns map[string]*fleetCampaign
+	order     []string // campaign ids in admission order
+	leases    *leaseTable
+	queue     *wfq
+	usage     *tenantUsage
+	seq       int
+	draining  bool
+
+	submitsRejected  atomic.Int64
+	jobsCompleted    atomic.Int64
+	jobsFailed       atomic.Int64
+	recordsPersisted atomic.Int64
+	recordsDuplicate atomic.Int64
+	shardsCompacted  atomic.Int64
+
+	compactions sync.WaitGroup
+}
+
+// NewCoordinator builds a coordinator over the given store.
+func NewCoordinator(opt Options) (*Coordinator, error) {
+	if opt.Store == nil {
+		return nil, errors.New("fleet: coordinator needs a store")
+	}
+	if opt.ShardSize <= 0 {
+		opt.ShardSize = 16
+	}
+	if opt.LeaseTTL <= 0 {
+		opt.LeaseTTL = 45 * time.Second
+	}
+	if opt.TenantQuota <= 0 {
+		opt.TenantQuota = 100_000
+	}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = 15 * time.Second
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
+	return &Coordinator{
+		opt:       opt,
+		campaigns: map[string]*fleetCampaign{},
+		leases:    newLeaseTable(),
+		queue:     newWFQ(),
+		usage:     newTenantUsage(),
+	}, nil
+}
+
+// RetryAfter is the backoff hint for rejected requests.
+func (c *Coordinator) RetryAfter() time.Duration { return c.opt.RetryAfter }
+
+// Drain stops the coordinator from admitting campaigns or granting
+// leases. Renewals and completions keep working so in-flight shards
+// land before shutdown.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+}
+
+// Draining reports whether Drain was called.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// Idle reports whether no leases are active and no shards are queued —
+// the drain-complete condition.
+func (c *Coordinator) Idle() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.leases.active) == 0 && c.queue.depth() == 0
+}
+
+// Submit admits a campaign: normalizes and expands the spec, fast-
+// completes shards whose every record is already in the store, and
+// queues the rest for lease. Errors: ErrDraining, *QuotaError, or a
+// spec validation error.
+func (c *Coordinator) Submit(req SubmitRequest) (SubmitResponse, error) {
+	spec := req.Spec
+	if err := spec.Normalize(); err != nil {
+		return SubmitResponse{}, err
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	if len(jobs) == 0 {
+		return SubmitResponse{}, errors.New("fleet: spec expands to zero jobs")
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	weight := req.Weight
+	if weight <= 0 {
+		weight = c.opt.TenantWeights[tenant]
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		c.submitsRejected.Add(1)
+		return SubmitResponse{}, ErrDraining
+	}
+	if out := c.usage.outstanding(tenant); out+len(jobs) > c.opt.TenantQuota {
+		c.submitsRejected.Add(1)
+		return SubmitResponse{}, &QuotaError{Tenant: tenant, Outstanding: out, Requested: len(jobs), Quota: c.opt.TenantQuota}
+	}
+
+	c.seq++
+	fc := &fleetCampaign{
+		id:        fmt.Sprintf("c%04d", c.seq),
+		tenant:    tenant,
+		specHash:  spec.Hash(),
+		spec:      spec,
+		jobs:      len(jobs),
+		shardSize: c.opt.ShardSize,
+		leased:    map[int]string{},
+	}
+	nShards := spec.NumShards(fc.shardSize)
+	fc.shardKeys = make([][]string, nShards)
+	fc.done = make([]bool, nShards)
+	var pending []int
+	cached := 0
+	for i := 0; i < nShards; i++ {
+		lo := i * fc.shardSize
+		hi := lo + fc.shardSize
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		keys := make([]string, 0, hi-lo)
+		for _, j := range jobs[lo:hi] {
+			keys = append(keys, j.Key)
+		}
+		fc.shardKeys[i] = keys
+		if _, missing := c.opt.Store.LookupAll(keys); missing == 0 {
+			// Every record already exists — a prior campaign (or an
+			// interrupted run of this one) computed this shard. Complete
+			// it at admission: the distributed analogue of store resume.
+			fc.done[i] = true
+			fc.doneCount++
+			cached++
+			continue
+		}
+		pending = append(pending, i)
+		c.usage.addQueued(tenant, len(keys))
+	}
+	c.campaigns[fc.id] = fc
+	c.order = append(c.order, fc.id)
+	if !fc.finished() {
+		c.queue.add(fc.id, tenant, weight, pending)
+	}
+	return SubmitResponse{
+		ID:           fc.id,
+		SpecHash:     fc.specHash,
+		Jobs:         fc.jobs,
+		Shards:       nShards,
+		CachedShards: cached,
+		StatusURL:    "/fleet/campaigns/" + fc.id,
+	}, nil
+}
+
+// Lease grants the next shard under weighted-fair order, or reports
+// no work (also the draining response — workers see an idle
+// coordinator and back off).
+func (c *Coordinator) Lease(worker string) (LeaseResponse, bool) {
+	now := c.opt.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+	if c.draining {
+		return LeaseResponse{}, false
+	}
+	id, shard, ok := c.queue.pick()
+	if !ok {
+		return LeaseResponse{}, false
+	}
+	fc := c.campaigns[id]
+	jobs := len(fc.shardKeys[shard])
+	l := c.leases.grant(id, shard, jobs, worker, now.Add(c.opt.LeaseTTL))
+	fc.leased[shard] = l.id
+	c.usage.lease(fc.tenant, jobs)
+	return LeaseResponse{
+		LeaseID:  l.id,
+		Campaign: id,
+		Tenant:   fc.tenant,
+		Spec:     fc.spec,
+		Shard:    campaign.Shard{Index: shard, Size: fc.shardSize},
+		Jobs:     jobs,
+		TTL:      c.opt.LeaseTTL,
+	}, true
+}
+
+// Renew extends a lease, reporting whether it was still active. A
+// false return tells the worker its shard has been re-queued (it may
+// keep computing — the completion will still be accepted and deduped —
+// but should not count on exclusivity).
+func (c *Coordinator) Renew(id string) bool {
+	now := c.opt.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+	return c.leases.renew(id, now.Add(c.opt.LeaseTTL))
+}
+
+// Complete lands a shard's records. The lease may be expired or even
+// superseded by a re-grant — determinism makes the records equally
+// valid, so they are persisted (deduped by the store), the shard is
+// marked done, and any racing lease or queue entry for it is retired.
+// Unknown lease ids return an error.
+func (c *Coordinator) Complete(id string, recs []campaign.Record) (CompleteResponse, error) {
+	now := c.opt.Now()
+	c.mu.Lock()
+	c.sweepLocked(now)
+	l, known := c.leases.resolve(id)
+	if !known {
+		c.mu.Unlock()
+		return CompleteResponse{}, fmt.Errorf("fleet: unknown lease %s", id)
+	}
+	_, wasActive := c.leases.drop(id)
+	fc := c.campaigns[l.campaign]
+	c.mu.Unlock()
+
+	// Persist outside the coordinator lock: the store has its own
+	// locking, and a slow disk must not stall lease traffic.
+	var resp CompleteResponse
+	for _, r := range recs {
+		if r.Err != "" {
+			resp.Failed++
+			continue
+		}
+		wrote, err := c.opt.Store.Append(r)
+		if err != nil {
+			return resp, fmt.Errorf("fleet: persist record %s: %w", r.Key, err)
+		}
+		if wrote {
+			resp.Persisted++
+		} else {
+			resp.Duplicates++
+		}
+	}
+	c.recordsPersisted.Add(int64(resp.Persisted))
+	c.recordsDuplicate.Add(int64(resp.Duplicates))
+	c.jobsFailed.Add(int64(resp.Failed))
+
+	c.mu.Lock()
+	if wasActive {
+		c.usage.complete(fc.tenant, l.jobs)
+	}
+	if fc.leased[l.shard] == id {
+		delete(fc.leased, l.shard)
+	}
+	if !fc.done[l.shard] {
+		fc.done[l.shard] = true
+		fc.doneCount++
+		fc.failed += resp.Failed
+		c.jobsCompleted.Add(int64(l.jobs - resp.Failed))
+		// Retire whatever else claims this shard: a racing re-grant's
+		// lease, or the shard sitting back in the queue after expiry.
+		if other, ok := fc.leased[l.shard]; ok {
+			if ol, active := c.leases.drop(other); active {
+				c.usage.complete(fc.tenant, ol.jobs)
+			}
+			delete(fc.leased, l.shard)
+		}
+		if c.queue.take(fc.id, l.shard) {
+			c.usage.addQueued(fc.tenant, -l.jobs)
+		}
+		if fc.finished() {
+			c.queue.remove(fc.id)
+		}
+	}
+	c.mu.Unlock()
+
+	// Completions are when dead weight accrues (duplicate records from
+	// re-leased shards); give the store a chance to reclaim it.
+	c.compactions.Add(1)
+	go func() {
+		defer c.compactions.Done()
+		n, err := c.opt.Store.MaybeCompact()
+		if n > 0 {
+			c.shardsCompacted.Add(int64(n))
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: compaction: %v\n", err)
+		}
+	}()
+	return resp, nil
+}
+
+// WaitCompactions blocks until background compactions kicked by
+// completions have finished (tests and shutdown).
+func (c *Coordinator) WaitCompactions() { c.compactions.Wait() }
+
+// sweepLocked expires overdue leases and re-queues their shards.
+func (c *Coordinator) sweepLocked(now time.Time) {
+	for _, l := range c.leases.sweep(now) {
+		fc := c.campaigns[l.campaign]
+		if fc == nil {
+			continue
+		}
+		if fc.leased[l.shard] == l.id {
+			delete(fc.leased, l.shard)
+		}
+		if fc.done[l.shard] {
+			// Completed by another lease while this one idled; nothing
+			// to re-queue. Accounting was settled by that completion.
+			continue
+		}
+		c.queue.push(l.campaign, l.shard)
+		c.usage.requeue(fc.tenant, l.jobs)
+	}
+}
+
+// statusLocked builds a CampaignStatus snapshot.
+func (fc *fleetCampaign) statusLocked() CampaignStatus {
+	state := "running"
+	if fc.finished() {
+		state = "done"
+	}
+	return CampaignStatus{
+		ID:           fc.id,
+		Tenant:       fc.tenant,
+		SpecHash:     fc.specHash,
+		State:        state,
+		Jobs:         fc.jobs,
+		Shards:       len(fc.shardKeys),
+		ShardsDone:   fc.doneCount,
+		ShardsLeased: len(fc.leased),
+		JobsFailed:   fc.failed,
+		Spec:         fc.spec,
+	}
+}
+
+// Status returns one campaign's state.
+func (c *Coordinator) Status(id string) (CampaignStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fc, ok := c.campaigns[id]
+	if !ok {
+		return CampaignStatus{}, false
+	}
+	return fc.statusLocked(), true
+}
+
+// Statuses returns every campaign in admission order.
+func (c *Coordinator) Statuses() []CampaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CampaignStatus, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.campaigns[id].statusLocked())
+	}
+	return out
+}
+
+// Records resolves a campaign's job keys against the store, in job
+// order, reporting how many are still missing. With missing == 0 the
+// slice is exactly what a single-process Engine run would return
+// (records marked Cached, as store hits are).
+func (c *Coordinator) Records(id string) (found []campaign.Record, missing int, ok bool) {
+	c.mu.Lock()
+	fc, exists := c.campaigns[id]
+	if !exists {
+		c.mu.Unlock()
+		return nil, 0, false
+	}
+	keys := fc.allKeys()
+	c.mu.Unlock()
+	found, missing = c.opt.Store.LookupAll(keys)
+	return found, missing, true
+}
+
+// Summary merges a campaign's records into per-group (seed-folded)
+// aggregates. Records are merged in job order, so the floating-point
+// sums — and therefore the marshalled bytes — are identical to
+// aggregating a single-process Engine run of the same spec.
+func (c *Coordinator) Summary(id string) (map[string]stats.RunRecord, bool) {
+	recs, _, ok := c.Records(id)
+	if !ok {
+		return nil, false
+	}
+	return campaign.Aggregate(recs, campaign.GroupWithoutSeed), true
+}
+
+// SummaryGroups returns a campaign's group keys in sorted order with
+// their aggregates, the deterministic shape handlers marshal.
+func SummaryGroups(m map[string]stats.RunRecord) ([]string, map[string]stats.RunRecord) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, m
+}
+
+// Metrics snapshots the coordinator counters.
+func (c *Coordinator) Metrics() Metrics {
+	c.mu.Lock()
+	running := 0
+	for _, fc := range c.campaigns {
+		if !fc.finished() {
+			running++
+		}
+	}
+	m := Metrics{
+		CampaignsTotal:   len(c.campaigns),
+		CampaignsRunning: running,
+		QueueDepth:       c.queue.depth(),
+		LeasesActive:     len(c.leases.active),
+		LeasesExpired:    c.leases.expired,
+		TenantInflight:   copyCounts(c.usage.inflight),
+		TenantQueued:     copyCounts(c.usage.queued),
+	}
+	c.mu.Unlock()
+	m.SubmitsRejected = c.submitsRejected.Load()
+	m.JobsCompleted = c.jobsCompleted.Load()
+	m.JobsFailed = c.jobsFailed.Load()
+	m.RecordsPersisted = c.recordsPersisted.Load()
+	m.RecordsDuplicate = c.recordsDuplicate.Load()
+	m.ShardsCompacted = c.shardsCompacted.Load()
+	m.StoreLive = c.opt.Store.Len()
+	m.StoreDead = c.opt.Store.Dead()
+	return m
+}

@@ -1,0 +1,141 @@
+// Package fleet is the distributed campaign fabric: a coordinator
+// that expands campaign specs into job shards and serves them to a
+// fleet of nocsimd workers over a work-stealing pull protocol, backed
+// by a content-addressed sharded result store.
+//
+// The design leans entirely on two properties the campaign layer
+// already guarantees:
+//
+//   - The job list of a spec is a pure function of the normalized
+//     spec, expanded in a fixed order. A lease therefore names a shard
+//     as (spec, index, size) and every worker re-derives exactly the
+//     same jobs — no job payloads cross the wire.
+//   - Records are pure functions of their jobs, keyed by the canonical
+//     config hash. Any worker's record for a key equals any other's,
+//     so results merge idempotently: duplicate completions (a shard
+//     re-leased after a worker death, then both finishing) collapse in
+//     the content-addressed store instead of corrupting aggregates.
+//
+// Together these make the fabric deterministic end to end: the merged
+// aggregates of a spec run across any fleet — including one that lost
+// workers mid-run — are byte-identical to a single-process
+// campaign.Engine run of the same spec.
+//
+// Failure handling is lease-based. A worker pulls a shard lease with a
+// deadline, renews it while simulating, and completes it with the
+// records. A worker that dies simply stops renewing; the coordinator
+// re-queues the shard at the next expiry sweep and another worker
+// picks it up. Completions against expired or re-issued leases are
+// still accepted (the records are correct by determinism) — the store
+// dedups, the shard is marked done, and the racing lease is dropped.
+//
+// Admission is multi-tenant: per-tenant job quotas bound how much work
+// one tenant may have outstanding (submits past the quota get 429 +
+// Retry-After so clients back off instead of the coordinator OOMing),
+// and shard dispatch runs weighted-fair queueing across campaigns via
+// stride scheduling, so a million-job sweep shares the fleet with an
+// interactive ten-job probe instead of starving it.
+package fleet
+
+import (
+	"time"
+
+	"tdmnoc/internal/campaign"
+)
+
+// Wire protocol. All endpoints speak JSON over the coordinator's HTTP
+// surface under /fleet/.
+
+// SubmitRequest posts a campaign to the coordinator.
+type SubmitRequest struct {
+	// Tenant names the submitting tenant (empty = "default"); quotas
+	// and fair-queueing weights apply per tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// Weight overrides the tenant's fair-share weight for this
+	// campaign (0 = tenant default). Higher weight = more shards per
+	// scheduling round.
+	Weight float64 `json:"weight,omitempty"`
+	// Spec is the campaign grid, exactly as for single-process runs.
+	Spec campaign.Spec `json:"spec"`
+}
+
+// SubmitResponse acknowledges an admitted campaign.
+type SubmitResponse struct {
+	ID       string `json:"id"`
+	SpecHash string `json:"spec_hash"`
+	Jobs     int    `json:"jobs"`
+	Shards   int    `json:"shards"`
+	// CachedShards counts shards completed at admission because every
+	// job key was already in the store (the distributed resume path).
+	CachedShards int    `json:"cached_shards"`
+	StatusURL    string `json:"status_url"`
+}
+
+// LeaseRequest is a worker's pull for work.
+type LeaseRequest struct {
+	// Worker identifies the puller in lease listings and logs.
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants one shard. The worker re-derives the jobs from
+// (Spec, Shard) and must renew before Deadline or the shard is
+// re-queued.
+type LeaseResponse struct {
+	LeaseID  string         `json:"lease_id"`
+	Campaign string         `json:"campaign"`
+	Tenant   string         `json:"tenant"`
+	Spec     campaign.Spec  `json:"spec"`
+	Shard    campaign.Shard `json:"shard"`
+	Jobs     int            `json:"jobs"`
+	// TTL is the renewal interval: the lease expires TTL after grant
+	// or last renewal.
+	TTL time.Duration `json:"ttl_ns"`
+}
+
+// CompleteRequest returns a finished shard's records. Records with Err
+// set ride along for accounting but are never persisted.
+type CompleteRequest struct {
+	Worker  string            `json:"worker"`
+	Records []campaign.Record `json:"records"`
+}
+
+// CompleteResponse reports what the store did with the records.
+type CompleteResponse struct {
+	Persisted  int `json:"persisted"`
+	Duplicates int `json:"duplicates"`
+	Failed     int `json:"failed"`
+}
+
+// CampaignStatus is the coordinator's view of one campaign.
+type CampaignStatus struct {
+	ID           string        `json:"id"`
+	Tenant       string        `json:"tenant"`
+	SpecHash     string        `json:"spec_hash"`
+	State        string        `json:"state"` // running | done
+	Jobs         int           `json:"jobs"`
+	Shards       int           `json:"shards"`
+	ShardsDone   int           `json:"shards_done"`
+	ShardsLeased int           `json:"shards_leased"`
+	JobsFailed   int           `json:"jobs_failed"`
+	Spec         campaign.Spec `json:"spec"`
+}
+
+// Metrics is the coordinator counter snapshot backing the Prometheus
+// endpoint.
+type Metrics struct {
+	CampaignsTotal   int            `json:"campaigns_total"`
+	CampaignsRunning int            `json:"campaigns_running"`
+	QueueDepth       int            `json:"queue_depth"` // shards awaiting lease
+	LeasesActive     int            `json:"leases_active"`
+	LeasesExpired    int64          `json:"leases_expired_total"`
+	SubmitsRejected  int64          `json:"submits_rejected_total"`
+	JobsCompleted    int64          `json:"jobs_completed_total"`
+	JobsFailed       int64          `json:"jobs_failed_total"`
+	RecordsPersisted int64          `json:"records_persisted_total"`
+	RecordsDuplicate int64          `json:"records_duplicate_total"`
+	ShardsCompacted  int64          `json:"shards_compacted_total"`
+	StoreLive        int            `json:"store_live_records"`
+	StoreDead        int            `json:"store_dead_lines"`
+	TenantInflight   map[string]int `json:"tenant_inflight_jobs"`
+	TenantQueued     map[string]int `json:"tenant_queued_jobs"`
+}

@@ -25,35 +25,79 @@ import "sync"
 // network.Config users, some of which retain delivered packets.
 type Pool struct {
 	free []*Packet
+	// cap and spillMark are the area-scaled per-NI depths (see
+	// scalePool).
+	cap       int
+	spillMark int
 	// overflow is the optional shared second tier: Put spills a batch
-	// there when the local list passes poolSpillMark, Get refills from
+	// there when the local list passes spillMark, Get refills from
 	// there when it is empty.
 	overflow *SharedPool
 	// scratch is the reusable transfer buffer for spill batches.
 	scratch []*Packet
 }
 
-// poolCap bounds the per-NI free list. 256 packets absorb the
-// send/receive rate fluctuations of the symmetric synthetic patterns;
-// surplus spills to the shared tier (or the garbage collector).
-const poolCap = 256
+// The pool sizes below are per-NI burst depths. They scale with mesh
+// area because the packet population a tile's pool must ride out grows
+// with the network: average path length (and with it rate x latency
+// in-flight depth), circuit setup queueing, and the send/receive skew
+// of asymmetric patterns all deepen on larger meshes. The reference
+// constants are the values tuned for the paper's 6x6 mesh (area 36);
+// scalePool keeps them exact there and grows them linearly with area,
+// so an 8x8 run gets ~1.8x the 6x6 depths instead of starving at the
+// 6x6 constants and allocating on the hot path forever.
+const refArea = 36
 
-// poolSpillMark is the local length beyond which Put moves a batch to
-// the shared tier. Spilling at a watermark below the cap matters:
+// scalePool grows a 6x6-reference depth linearly with mesh area,
+// never shrinking below the reference (tiny meshes keep the tuned
+// minimums — burst depth is set by traffic variance, not area, at the
+// small end).
+func scalePool(ref, area int) int {
+	if area <= refArea {
+		return ref
+	}
+	return (ref*area + refArea - 1) / refArea
+}
+
+// scalePoolSqrt grows a 6x6-reference depth with the square root of
+// the area ratio — the scaling of average path length, and with it the
+// per-NI in-flight packet depth (rate x latency), on a 2D mesh.
+func scalePoolSqrt(ref, area int) int {
+	if area <= refArea {
+		return ref
+	}
+	// Integer sqrt of (ref^2 * area / refArea), rounded up.
+	target := ref * ref * area / refArea
+	n := ref
+	for n*n < target {
+		n++
+	}
+	return n
+}
+
+// refPoolCap bounds the per-NI free list. 256 packets absorb the
+// send/receive rate fluctuations of the symmetric synthetic patterns
+// on the 6x6 mesh; surplus spills to the shared tier (or the garbage
+// collector).
+const refPoolCap = 256
+
+// refPoolSpillMark is the local length beyond which Put moves a batch
+// to the shared tier. Spilling at a watermark below the cap matters:
 // traffic with a chronic per-tile send/receive imbalance (path sharing
 // delivers hitchhiker payloads near, not at, their reserved
 // destination) makes some pools accumulate and others starve, and if
 // the accumulating side only shared its surplus at the hard cap it
 // would never reach, the starving side would allocate fresh packets
 // forever.
-const poolSpillMark = 96
+const refPoolSpillMark = 96
 
 // poolBatch is how many packets move between a local list and the
-// shared tier per transfer, amortising the shared tier's lock.
+// shared tier per transfer, amortising the shared tier's lock. A batch
+// is a lock-amortisation unit, not a burst depth, so it does not scale.
 const poolBatch = 32
 
-// sharedCap bounds the shared overflow tier.
-const sharedCap = 4096
+// refSharedCap bounds the shared overflow tier on the 6x6 mesh.
+const refSharedCap = 4096
 
 // SharedPool is a mutex-guarded overflow tier shared by all per-NI
 // pools of one network. Traffic that migrates packets between tiles
@@ -66,11 +110,15 @@ const sharedCap = 4096
 // both rare once the packet population has stabilised.
 type SharedPool struct {
 	mu   sync.Mutex
+	cap  int
 	free []*Packet
 }
 
-// NewSharedPool returns an empty shared overflow tier.
-func NewSharedPool() *SharedPool { return &SharedPool{} }
+// NewSharedPool returns an empty shared overflow tier sized for a mesh
+// of the given area (tile count).
+func NewSharedPool(area int) *SharedPool {
+	return &SharedPool{cap: scalePool(refSharedCap, area)}
+}
 
 // getBatch moves up to max packets from the shared tier into dst,
 // returning the extended slice.
@@ -101,7 +149,7 @@ func (s *SharedPool) putBatch(src []*Packet) []*Packet {
 	}
 	s.mu.Lock()
 	for _, pk := range src {
-		if len(s.free) >= sharedCap {
+		if len(s.free) >= s.cap {
 			break
 		}
 		s.free = append(s.free, pk)
@@ -124,18 +172,39 @@ func (s *SharedPool) Free() int {
 	return len(s.free)
 }
 
-// poolPrewarm is the free-list stock each pool starts with. Injection
-// is bursty: a tile's pool can momentarily drain to empty while its
-// long-term send/receive balance is fine, and every such dip would
-// otherwise allocate a fresh packet. Starting above the observed dip
-// depth keeps the steady-state hot path allocation-free from the first
-// measured cycle instead of asymptotically.
-const poolPrewarm = 64
+// refPoolPrewarm is the free-list stock each pool starts with on the
+// 6x6 mesh. Injection is bursty: a tile's pool can momentarily drain
+// to empty while its long-term send/receive balance is fine, and every
+// such dip would otherwise allocate a fresh packet. Starting above the
+// observed dip depth keeps the steady-state hot path allocation-free
+// from the first measured cycle instead of asymptotically.
+const refPoolPrewarm = 64
 
-// NewPool returns a pre-warmed pool. A non-nil overflow links the pool
-// into a shared second tier; nil keeps the pool standalone.
-func NewPool(overflow *SharedPool) *Pool {
-	p := &Pool{free: make([]*Packet, poolPrewarm, poolCap), overflow: overflow}
+// NewPool returns a pre-warmed pool with depths scaled for a mesh of
+// the given area (tile count). A non-nil overflow links the pool into
+// a shared second tier; nil keeps the pool standalone.
+func NewPool(overflow *SharedPool, area int) *Pool {
+	// The spill mark tracks per-NI in-flight depth (sqrt of area, like
+	// path length); the prewarm sits two transfer batches above it so
+	// the network-wide packet population strictly exceeds what the
+	// per-NI lists can park below their spill marks — the structural
+	// guarantee that the shared tier always holds stock for a starved
+	// pool to refill from (see the pool-sizing note above).
+	spillMark := scalePoolSqrt(refPoolSpillMark, area)
+	prewarm := spillMark + 2*poolBatch
+	if prewarm < refPoolPrewarm {
+		prewarm = refPoolPrewarm
+	}
+	cap := scalePool(refPoolCap, area)
+	if cap < prewarm {
+		cap = prewarm + poolBatch
+	}
+	p := &Pool{
+		free:      make([]*Packet, prewarm, cap),
+		cap:       cap,
+		spillMark: spillMark,
+		overflow:  overflow,
+	}
 	if overflow != nil {
 		p.scratch = make([]*Packet, 0, poolBatch)
 	}
@@ -181,11 +250,11 @@ func (p *Pool) Put(pk *Packet) {
 	}
 	store, ptrs := pk.store, pk.ptrs
 	*pk = Packet{store: store, ptrs: ptrs}
-	if len(p.free) >= poolCap {
+	if len(p.free) >= p.cap {
 		return // standalone pool backstop (overflow pools spill below)
 	}
 	p.free = append(p.free, pk)
-	if p.overflow != nil && len(p.free) > poolSpillMark {
+	if p.overflow != nil && len(p.free) > p.spillMark {
 		n := len(p.free) - poolBatch
 		p.scratch = append(p.scratch[:0], p.free[n:]...)
 		for i := n; i < len(p.free); i++ {

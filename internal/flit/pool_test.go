@@ -1,0 +1,58 @@
+package flit
+
+import "testing"
+
+// TestPoolSizingScalesWithArea pins the area-scaling contract: the 6x6
+// reference mesh keeps the tuned constants, larger meshes grow
+// monotonically, and — the structural starvation guarantee — the
+// prewarmed stock always exceeds the spill mark, so the network-wide
+// packet population is larger than what the per-NI lists can park
+// below their spill marks and the shared tier always ends up holding
+// refill stock.
+func TestPoolSizingScalesWithArea(t *testing.T) {
+	areas := []int{1, 16, 36, 64, 100, 256, 1024}
+	prevSpill, prevPrewarm := 0, 0
+	for _, area := range areas {
+		p := NewPool(NewSharedPool(area), area)
+		if len(p.free) <= p.spillMark {
+			t.Errorf("area %d: prewarm %d not above spill mark %d", area, len(p.free), p.spillMark)
+		}
+		if p.cap < len(p.free) {
+			t.Errorf("area %d: cap %d below prewarm %d", area, p.cap, len(p.free))
+		}
+		if p.spillMark < prevSpill || len(p.free) < prevPrewarm {
+			t.Errorf("area %d: sizing shrank (spill %d->%d, prewarm %d->%d)",
+				area, prevSpill, p.spillMark, prevPrewarm, len(p.free))
+		}
+		prevSpill, prevPrewarm = p.spillMark, len(p.free)
+	}
+
+	// Small meshes keep the tuned 6x6 reference depths.
+	small := NewPool(nil, 36)
+	tiny := NewPool(nil, 4)
+	if len(small.free) != len(tiny.free) || small.spillMark != tiny.spillMark {
+		t.Errorf("sub-reference meshes diverge from the 6x6 depths: %d/%d vs %d/%d",
+			len(tiny.free), tiny.spillMark, len(small.free), small.spillMark)
+	}
+
+	// An 8x8 mesh must get deeper pools than the 6x6 reference — the
+	// fig6 starvation regression this sizing exists to prevent.
+	big := NewPool(nil, 64)
+	if len(big.free) <= len(small.free) || big.spillMark <= small.spillMark {
+		t.Errorf("8x8 pool (%d/%d) not deeper than 6x6 (%d/%d)",
+			len(big.free), big.spillMark, len(small.free), small.spillMark)
+	}
+}
+
+// TestScalePoolSqrt pins the square-root growth used for the spill
+// mark: exact at the reference, ~sqrt(area ratio) above it.
+func TestScalePoolSqrt(t *testing.T) {
+	if got := scalePoolSqrt(96, 36); got != 96 {
+		t.Errorf("scalePoolSqrt(96, 36) = %d, want 96", got)
+	}
+	// 4x the area must give ~2x the depth (rounded up).
+	got := scalePoolSqrt(96, 144)
+	if got < 192 || got > 194 {
+		t.Errorf("scalePoolSqrt(96, 144) = %d, want ~192", got)
+	}
+}

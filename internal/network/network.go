@@ -57,7 +57,7 @@ func New(cfg Config, mk EndpointFactory) *Network {
 	cfg.validate()
 	n := &Network{cfg: cfg, mesh: topology.NewMesh(cfg.Width, cfg.Height)}
 	if cfg.PoolMessages {
-		n.sharedPool = flit.NewSharedPool()
+		n.sharedPool = flit.NewSharedPool(n.mesh.Nodes())
 	}
 
 	if cfg.Router.Hybrid && cfg.DynamicSlots {

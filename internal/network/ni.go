@@ -229,7 +229,7 @@ func newNI(id topology.NodeID, net *Network, r *router.Router, rng *sim.RNG, ep 
 		rxCount:     make(map[uint64]int),
 	}
 	if net.cfg.PoolMessages {
-		ni.pool = flit.NewPool(net.sharedPool)
+		ni.pool = flit.NewPool(net.sharedPool, net.mesh.Nodes())
 	}
 	for v := range ni.credits {
 		ni.credits[v] = net.cfg.Router.BufDepth

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# End-to-end fleet fabric smoke: a coordinator and two workers on
+# localhost run a sweep, one worker is SIGKILLed while it holds a
+# lease (its shard expires and migrates), and the fleet CSV must match
+# the single-process CSV bit for bit — the determinism contract of
+# DESIGN.md §10, exercised through real processes and real sockets.
+set -euo pipefail
+
+COORD_PORT="${COORD_PORT:-18080}"
+BASE="http://localhost:${COORD_PORT}"
+TMP="$(mktemp -d)"
+BIN="$TMP/bin"
+mkdir -p "$BIN"
+PIDS=()
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+SWEEP_ARGS=(-mode tdm -pattern tornado -width 10 -height 10
+    -from 0.02 -to 0.20 -step 0.02 -warmup 8000 -cycles 72000)
+
+echo "== build"
+go build -o "$BIN/nocsimd" ./cmd/nocsimd
+go build -o "$BIN/sweep" ./cmd/sweep
+
+echo "== serial reference run"
+"$BIN/sweep" "${SWEEP_ARGS[@]}" > "$TMP/serial.csv"
+
+echo "== start coordinator + 2 workers"
+"$BIN/nocsimd" -coordinator -addr ":${COORD_PORT}" -data "$TMP/coord" \
+    -shard-size 1 -lease-ttl 3s -pprof=false &
+PIDS+=($!)
+for i in 1 2; do
+    "$BIN/nocsimd" -worker "$BASE" -addr ":$((COORD_PORT + i))" \
+        -data "$TMP/w$i" -pprof=false &
+    PIDS+=($!)
+done
+WORKER1_PID="${PIDS[1]}"
+
+for _ in $(seq 50); do
+    curl -sf "$BASE/healthz" >/dev/null && break
+    sleep 0.2
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "coordinator never came up"; exit 1; }
+
+metric() {
+    curl -sf "$BASE/fleet/metrics" | awk -v m="$1" '$1 == m { print $2 }'
+}
+
+echo "== fleet run (worker 1 will be killed mid-shard)"
+"$BIN/sweep" -fleet "$BASE" "${SWEEP_ARGS[@]}" > "$TMP/fleet.csv" &
+SWEEP_PID=$!
+
+# Wait until both workers hold a lease, then kill one outright — no
+# drain, no goodbye; its shard must expire and migrate.
+killed=0
+for _ in $(seq 150); do
+    if ! kill -0 "$SWEEP_PID" 2>/dev/null; then
+        break
+    fi
+    if [ "$(metric fleet_leases_active || echo 0)" = "2" ]; then
+        echo "== SIGKILL worker 1 (pid $WORKER1_PID) while it holds a lease"
+        kill -9 "$WORKER1_PID"
+        killed=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$killed" != 1 ]; then
+    echo "never saw both workers leased; cannot exercise the death path"
+    exit 1
+fi
+
+wait "$SWEEP_PID"
+
+echo "== verify"
+expired="$(metric fleet_leases_expired_total)"
+dead="$(metric fleet_store_dead_lines)"
+echo "   leases expired: $expired, store dead lines: $dead"
+if [ "${expired:-0}" -lt 1 ]; then
+    echo "FAIL: killed worker's lease never expired"
+    exit 1
+fi
+if [ "${dead:-0}" != 0 ]; then
+    echo "FAIL: sharded store contains duplicate records"
+    exit 1
+fi
+if ! diff -u "$TMP/serial.csv" "$TMP/fleet.csv"; then
+    echo "FAIL: fleet results differ from the single-process run"
+    exit 1
+fi
+echo "OK: fleet output is bit-identical to the serial run ($(wc -l < "$TMP/fleet.csv") CSV lines)"
