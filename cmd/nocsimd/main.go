@@ -19,7 +19,7 @@
 // Fleet modes turn nocsimd instances into a distributed fabric
 // (see internal/fleet):
 //
-//	nocsimd -coordinator -addr :8080 -data ./coord-data
+//	nocsimd -coordinator -addr :8080 -data ./coord-data -journal ./coord-data/fleet.journal
 //	nocsimd -worker http://localhost:8080 -addr :8081
 //	nocsimd -worker http://localhost:8080 -addr :8082
 //
@@ -61,6 +61,7 @@ func main() {
 	shardSize := flag.Int("shard-size", 16, "coordinator: jobs per lease")
 	leaseTTL := flag.Duration("lease-ttl", 45*time.Second, "coordinator: lease expiry without renewal")
 	tenantQuota := flag.Int("tenant-quota", 100_000, "coordinator: max outstanding jobs per tenant")
+	journal := flag.String("journal", "", "coordinator: write-ahead journal path for crash recovery (empty = in-memory only; a restart loses queued campaigns)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*data, 0o755); err != nil {
@@ -83,10 +84,19 @@ func main() {
 			ShardSize:   *shardSize,
 			LeaseTTL:    *leaseTTL,
 			TenantQuota: *tenantQuota,
+			Journal:     *journal,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nocsimd: %v\n", err)
 			os.Exit(1)
+		}
+		if *journal != "" {
+			if n := s.coord.Recovered(); n > 0 {
+				fmt.Printf("nocsimd: journal %s: replayed %d records\n", *journal, n)
+			}
+			// A replayed drain record leaves the coordinator draining; a
+			// deliberately restarted service should serve.
+			s.coord.Resume()
 		}
 	}
 	if *workerURL != "" {
@@ -161,6 +171,7 @@ func main() {
 		}
 		if s.coord != nil {
 			s.coord.WaitCompactions()
+			s.coord.Close()
 		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

@@ -21,10 +21,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"time"
 
@@ -185,15 +187,33 @@ func runOnFleet(base, tenant string, spec campaign.Spec, jobs int) ([]campaign.R
 	fmt.Fprintf(os.Stderr, "sweep: fleet campaign %s (%d jobs, %d shards, %d cached)\n",
 		sub.ID, sub.Jobs, sub.Shards, sub.CachedShards)
 
-	for {
+	// Transport errors during the poll are tolerated for a bounded
+	// window: a journaled coordinator restarting mid-sweep refuses
+	// connections for a few seconds and then serves the same campaign
+	// again, so giving up on the first refused dial would turn a clean
+	// recovery into a failed sweep. HTTP status errors (404 on the
+	// campaign, 500s) still fail fast — the coordinator is up and
+	// disagreeing, retries won't reconcile that.
+	const pollEvery = 500 * time.Millisecond
+	transient := 0
+	for done := false; !done; {
 		var st fleet.CampaignStatus
-		if err := getJSON(client, base+"/fleet/campaigns/"+sub.ID, &st); err != nil {
+		err := getJSON(client, base+"/fleet/campaigns/"+sub.ID, &st)
+		switch {
+		case err == nil:
+			transient = 0
+			done = st.State == "done"
+		case isTransient(err):
+			transient++
+			if transient > 240 { // ~2 minutes of solid unreachability
+				return nil, fmt.Errorf("coordinator unreachable for %v: %w", time.Duration(transient)*pollEvery, err)
+			}
+		default:
 			return nil, err
 		}
-		if st.State == "done" {
-			break
+		if !done {
+			time.Sleep(pollEvery)
 		}
-		time.Sleep(500 * time.Millisecond)
 	}
 
 	var recs []campaign.Record
@@ -204,6 +224,13 @@ func runOnFleet(base, tenant string, spec campaign.Spec, jobs int) ([]campaign.R
 		return nil, fmt.Errorf("fleet returned %d records, want %d", len(recs), jobs)
 	}
 	return recs, nil
+}
+
+// isTransient reports whether err is a transport-level failure (refused
+// dial, reset connection, timeout) as opposed to an HTTP status error.
+func isTransient(err error) bool {
+	var ue *url.Error
+	return errors.As(err, &ue)
 }
 
 func getJSON(client *http.Client, url string, out any) error {

@@ -80,6 +80,46 @@ func TestSpecSlotAxisCollapsesForNonTDM(t *testing.T) {
 	}
 }
 
+func TestSpecRehydrate(t *testing.T) {
+	s := testSpec()
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	hash := s.Hash()
+
+	// A marshal/unmarshal round trip (what a journal or checkpoint does)
+	// rehydrates to the same normalized spec and passes the hash check.
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Rehydrate(hash)
+	if err != nil {
+		t.Fatalf("Rehydrate: %v", err)
+	}
+	if got.Hash() != hash {
+		t.Fatalf("rehydrated hash %s != %s", got.Hash(), hash)
+	}
+
+	// A wrong recorded hash — the persisted-under-different-semantics
+	// case — fails loudly.
+	if _, err := back.Rehydrate("deadbeef"); err == nil {
+		t.Fatal("Rehydrate accepted a mismatched hash")
+	}
+
+	// An empty hash skips the check but still normalizes/validates.
+	if _, err := back.Rehydrate(""); err != nil {
+		t.Fatalf("Rehydrate with empty hash: %v", err)
+	}
+	if _, err := (Spec{}).Rehydrate(""); err == nil {
+		t.Fatal("Rehydrate normalized an invalid spec")
+	}
+}
+
 func TestSpecNormalizeRejects(t *testing.T) {
 	bad := []Spec{
 		{Patterns: []string{"ur"}, Rates: []float64{0.1}},                            // no modes

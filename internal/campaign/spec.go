@@ -165,6 +165,26 @@ func (s *Spec) Normalize() error {
 	return nil
 }
 
+// Rehydrate re-normalizes a spec read back from persisted state (a
+// fleet journal, a checkpoint) and verifies it still hashes to
+// wantHash. A mismatch means the binary's spec semantics drifted since
+// the spec was persisted — defaults changed, an axis was added — and
+// the re-expanded job grid would no longer match the recorded one;
+// failing loudly beats silently re-sharding. An empty wantHash skips
+// the check.
+func (s Spec) Rehydrate(wantHash string) (Spec, error) {
+	c := s
+	if err := c.Normalize(); err != nil {
+		return Spec{}, err
+	}
+	if wantHash != "" {
+		if got := c.Hash(); got != wantHash {
+			return Spec{}, fmt.Errorf("campaign: rehydrated spec hash %s != recorded %s (spec semantics changed since it was persisted?)", got, wantHash)
+		}
+	}
+	return c, nil
+}
+
 // Hash is the canonical fingerprint of a normalized spec, used to name
 // its result store so re-submitting the same spec resumes from the
 // same JSONL file.

@@ -32,6 +32,17 @@ type Options struct {
 	// RetryAfter is the backoff hint attached to quota and drain
 	// rejections (0 = 15s).
 	RetryAfter time.Duration
+	// Journal is the path of the write-ahead journal (empty = no
+	// journal: coordinator state is in-memory only and a restart loses
+	// queued campaigns, the pre-journal behavior). With a journal,
+	// NewCoordinator replays it to reconstruct campaigns, the queue,
+	// tenant usage and the lease table; active leases come back with
+	// fresh TTLs so in-flight workers renew and complete normally.
+	Journal string
+	// JournalRotateBytes is the journal size past which the coordinator
+	// rotates: live state is snapshotted into a fresh file that replaces
+	// the log (0 = 4 MiB).
+	JournalRotateBytes int64
 	// Now is the clock (nil = time.Now). Tests inject a fake to drive
 	// lease expiry deterministically.
 	Now func() time.Time
@@ -39,6 +50,12 @@ type Options struct {
 
 // ErrDraining rejects submits while the coordinator drains.
 var ErrDraining = errors.New("fleet: coordinator is draining")
+
+// ErrJournal rejects a submit whose write-ahead record could not be
+// made durable: admitting a campaign the journal does not know about
+// would silently revive the restart-loses-campaigns bug the journal
+// exists to fix.
+var ErrJournal = errors.New("fleet: journal append failed")
 
 // QuotaError rejects a submit that would exceed the tenant's quota.
 type QuotaError struct {
@@ -98,6 +115,12 @@ type Coordinator struct {
 	seq       int
 	draining  bool
 
+	// journal is the write-ahead log (nil without Options.Journal).
+	// Appends happen under mu so journal order equals transition order;
+	// it stays nil during replay so recovery never re-journals.
+	journal         *journal
+	journalReplayed int64
+
 	submitsRejected  atomic.Int64
 	jobsCompleted    atomic.Int64
 	jobsFailed       atomic.Int64
@@ -128,13 +151,77 @@ func NewCoordinator(opt Options) (*Coordinator, error) {
 	if opt.Now == nil {
 		opt.Now = time.Now
 	}
-	return &Coordinator{
+	if opt.JournalRotateBytes <= 0 {
+		opt.JournalRotateBytes = 4 << 20
+	}
+	c := &Coordinator{
 		opt:       opt,
 		campaigns: map[string]*fleetCampaign{},
 		leases:    newLeaseTable(),
 		queue:     newWFQ(),
 		usage:     newTenantUsage(),
-	}, nil
+	}
+	if opt.Journal != "" {
+		j, recs, err := openJournal(opt.Journal, opt.JournalRotateBytes)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.replay(recs); err != nil {
+			j.close()
+			return nil, err
+		}
+		// Publish the journal only after replay: the replay helpers
+		// mutate state through the same code shapes as live transitions,
+		// and must not append what they are reading back.
+		c.journal = j
+		c.journalReplayed = int64(len(recs))
+	}
+	return c, nil
+}
+
+// Recovered reports how many journal records NewCoordinator replayed
+// (0 without a journal or on a fresh one).
+func (c *Coordinator) Recovered() int64 { return c.journalReplayed }
+
+// Close syncs and releases the journal (if any). Background
+// compactions should be waited out separately (WaitCompactions).
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.close()
+}
+
+// logLocked appends a journal record under c.mu. Append failures on
+// non-admission transitions are logged and counted rather than
+// propagated: the in-memory transition has already happened and the
+// worker's work is real — refusing it would discard results to protect
+// bookkeeping. The counter (fleet_journal_errors_total) makes a sick
+// disk visible; Submit is the one path that fails hard (ErrJournal),
+// because rejecting a new campaign is cheap and admitting an
+// unjournaled one is exactly the durability hole this log closes.
+func (c *Coordinator) logLocked(rec journalRecord, sync bool) {
+	if c.journal == nil {
+		return
+	}
+	if err := c.journal.append(rec, sync); err != nil {
+		c.journal.countError()
+		fmt.Fprintf(os.Stderr, "fleet: journal: %v\n", err)
+	}
+}
+
+// maybeRotateLocked snapshots and rotates the journal once it outgrows
+// its threshold. Caller holds c.mu.
+func (c *Coordinator) maybeRotateLocked() {
+	if c.journal == nil || !c.journal.shouldRotate() {
+		return
+	}
+	if err := c.journal.rotate(c.snapshotLocked()); err != nil {
+		c.journal.countError()
+		fmt.Fprintf(os.Stderr, "fleet: journal: %v\n", err)
+	}
 }
 
 // RetryAfter is the backoff hint for rejected requests.
@@ -142,10 +229,28 @@ func (c *Coordinator) RetryAfter() time.Duration { return c.opt.RetryAfter }
 
 // Drain stops the coordinator from admitting campaigns or granting
 // leases. Renewals and completions keep working so in-flight shards
-// land before shutdown.
+// land before shutdown. Drain is journaled: a coordinator killed
+// mid-drain comes back draining, so the restart finishes the shutdown
+// it was performing instead of silently reopening for business.
 func (c *Coordinator) Drain() {
 	c.mu.Lock()
-	c.draining = true
+	if !c.draining {
+		c.draining = true
+		c.logLocked(journalRecord{Op: opDrain}, true)
+	}
+	c.mu.Unlock()
+}
+
+// Resume reverses Drain: the coordinator admits and grants again. The
+// operator-facing use is a journaled restart — replaying a drain record
+// leaves the coordinator draining, and a deliberately restarted service
+// should serve, so cmd/nocsimd calls Resume after recovery.
+func (c *Coordinator) Resume() {
+	c.mu.Lock()
+	if c.draining {
+		c.draining = false
+		c.logLocked(journalRecord{Op: opResume}, true)
+	}
 	c.mu.Unlock()
 }
 
@@ -203,21 +308,56 @@ func (c *Coordinator) Submit(req SubmitRequest) (SubmitResponse, error) {
 		return SubmitResponse{}, &QuotaError{Tenant: tenant, Outstanding: out, Requested: len(jobs), Quota: c.opt.TenantQuota}
 	}
 
+	// Write-ahead: the admission is journaled (and fsync'd) before any
+	// state changes, so every campaign the coordinator ever
+	// acknowledged is recoverable. A failed append rejects the submit —
+	// the one transition where refusing is cheap and admitting
+	// unjournaled would reopen the restart-loses-campaigns hole.
+	id := fmt.Sprintf("c%04d", c.seq+1)
+	if c.journal != nil {
+		rec := journalRecord{
+			Op: opSubmit, Campaign: id, Tenant: tenant, Weight: weight,
+			ShardSize: c.opt.ShardSize, SpecHash: spec.Hash(), Spec: &spec,
+		}
+		if err := c.journal.append(rec, true); err != nil {
+			c.journal.countError()
+			return SubmitResponse{}, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
 	c.seq++
+	fc := c.admitLocked(id, tenant, weight, c.opt.ShardSize, spec, jobs)
+	c.maybeRotateLocked()
+	return SubmitResponse{
+		ID:           fc.id,
+		SpecHash:     fc.specHash,
+		Jobs:         fc.jobs,
+		Shards:       len(fc.shardKeys),
+		CachedShards: fc.doneCount,
+		StatusURL:    "/fleet/campaigns/" + fc.id,
+	}, nil
+}
+
+// admitLocked installs an admitted campaign: builds its shard key
+// lists, fast-completes shards whose every record is already in the
+// store, and queues the rest. Shared by Submit and journal replay —
+// which is what makes replay honor store contents newer than the
+// submit record: a shard completed after admission fast-completes when
+// the submit replays, exactly as it would on resubmit. Caller holds
+// c.mu and has already advanced c.seq.
+func (c *Coordinator) admitLocked(id, tenant string, weight float64, shardSize int, spec campaign.Spec, jobs []campaign.Job) *fleetCampaign {
 	fc := &fleetCampaign{
-		id:        fmt.Sprintf("c%04d", c.seq),
+		id:        id,
 		tenant:    tenant,
 		specHash:  spec.Hash(),
 		spec:      spec,
 		jobs:      len(jobs),
-		shardSize: c.opt.ShardSize,
+		shardSize: shardSize,
 		leased:    map[int]string{},
 	}
 	nShards := spec.NumShards(fc.shardSize)
 	fc.shardKeys = make([][]string, nShards)
 	fc.done = make([]bool, nShards)
 	var pending []int
-	cached := 0
 	for i := 0; i < nShards; i++ {
 		lo := i * fc.shardSize
 		hi := lo + fc.shardSize
@@ -235,7 +375,6 @@ func (c *Coordinator) Submit(req SubmitRequest) (SubmitResponse, error) {
 			// it at admission: the distributed analogue of store resume.
 			fc.done[i] = true
 			fc.doneCount++
-			cached++
 			continue
 		}
 		pending = append(pending, i)
@@ -246,14 +385,7 @@ func (c *Coordinator) Submit(req SubmitRequest) (SubmitResponse, error) {
 	if !fc.finished() {
 		c.queue.add(fc.id, tenant, weight, pending)
 	}
-	return SubmitResponse{
-		ID:           fc.id,
-		SpecHash:     fc.specHash,
-		Jobs:         fc.jobs,
-		Shards:       nShards,
-		CachedShards: cached,
-		StatusURL:    "/fleet/campaigns/" + fc.id,
-	}, nil
+	return fc
 }
 
 // Lease grants the next shard under weighted-fair order, or reports
@@ -276,6 +408,12 @@ func (c *Coordinator) Lease(worker string) (LeaseResponse, bool) {
 	l := c.leases.grant(id, shard, jobs, worker, now.Add(c.opt.LeaseTTL))
 	fc.leased[shard] = l.id
 	c.usage.lease(fc.tenant, jobs)
+	// Journal before the response leaves the lock: once a worker holds
+	// the lease id, a restart must be able to resolve it.
+	c.logLocked(journalRecord{
+		Op: opGrant, Campaign: id, Lease: l.id, Shard: shard, Jobs: jobs, Worker: worker,
+	}, true)
+	c.maybeRotateLocked()
 	return LeaseResponse{
 		LeaseID:  l.id,
 		Campaign: id,
@@ -296,7 +434,14 @@ func (c *Coordinator) Renew(id string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sweepLocked(now)
-	return c.leases.renew(id, now.Add(c.opt.LeaseTTL))
+	ok := c.leases.renew(id, now.Add(c.opt.LeaseTTL))
+	if ok {
+		// Unsynced: losing a renew record is harmless (recovery refreshes
+		// every restored lease's TTL anyway), so renews ride until the
+		// next synced append instead of paying an fsync per heartbeat.
+		c.logLocked(journalRecord{Op: opRenew, Lease: id}, false)
+	}
+	return ok
 }
 
 // Complete lands a shard's records. The lease may be expired or even
@@ -366,6 +511,13 @@ func (c *Coordinator) Complete(id string, recs []campaign.Record) (CompleteRespo
 			c.queue.remove(fc.id)
 		}
 	}
+	// Journaled after the store append above: a journaled completion
+	// implies its records are durable, so replay only reconstructs
+	// bookkeeping and never needs the records themselves.
+	c.logLocked(journalRecord{
+		Op: opComplete, Campaign: l.campaign, Lease: id, Shard: l.shard, Failed: resp.Failed,
+	}, true)
+	c.maybeRotateLocked()
 	c.mu.Unlock()
 
 	// Completions are when dead weight accrues (duplicate records from
@@ -388,9 +540,18 @@ func (c *Coordinator) Complete(id string, recs []campaign.Record) (CompleteRespo
 // completions have finished (tests and shutdown).
 func (c *Coordinator) WaitCompactions() { c.compactions.Wait() }
 
-// sweepLocked expires overdue leases and re-queues their shards.
+// sweepLocked expires overdue leases and re-queues their shards. The
+// sweep journals one expire record carrying the swept lease ids in
+// sorted order, so replay re-queues shards exactly as the live sweep
+// did and the rebuilt WFQ queue matches.
 func (c *Coordinator) sweepLocked(now time.Time) {
-	for _, l := range c.leases.sweep(now) {
+	swept := c.leases.sweep(now)
+	if len(swept) == 0 {
+		return
+	}
+	ids := make([]string, 0, len(swept))
+	for _, l := range swept {
+		ids = append(ids, l.id)
 		fc := c.campaigns[l.campaign]
 		if fc == nil {
 			continue
@@ -406,6 +567,7 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 		c.queue.push(l.campaign, l.shard)
 		c.usage.requeue(fc.tenant, l.jobs)
 	}
+	c.logLocked(journalRecord{Op: opExpire, Leases: ids}, true)
 }
 
 // statusLocked builds a CampaignStatus snapshot.
@@ -500,13 +662,19 @@ func (c *Coordinator) Metrics() Metrics {
 		}
 	}
 	m := Metrics{
-		CampaignsTotal:   len(c.campaigns),
-		CampaignsRunning: running,
-		QueueDepth:       c.queue.depth(),
-		LeasesActive:     len(c.leases.active),
-		LeasesExpired:    c.leases.expired,
-		TenantInflight:   copyCounts(c.usage.inflight),
-		TenantQueued:     copyCounts(c.usage.queued),
+		CampaignsTotal:      len(c.campaigns),
+		CampaignsRunning:    running,
+		QueueDepth:          c.queue.depth(),
+		LeasesActive:        len(c.leases.active),
+		LeasesExpired:       c.leases.expired,
+		TenantInflight:      copyCounts(c.usage.inflight),
+		TenantQueued:        copyCounts(c.usage.queued),
+		AccountingUnderflow: c.usage.underflow,
+	}
+	if c.journal != nil {
+		m.JournalEnabled = true
+		m.JournalReplayed = c.journalReplayed
+		m.JournalRecords, m.JournalSyncs, m.JournalRotations, m.JournalErrors, m.JournalSizeBytes = c.journal.stats()
 	}
 	c.mu.Unlock()
 	m.SubmitsRejected = c.submitsRejected.Load()

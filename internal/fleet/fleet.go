@@ -138,4 +138,19 @@ type Metrics struct {
 	StoreDead        int            `json:"store_dead_lines"`
 	TenantInflight   map[string]int `json:"tenant_inflight_jobs"`
 	TenantQueued     map[string]int `json:"tenant_queued_jobs"`
+
+	// AccountingUnderflow counts tenant-usage updates that would have
+	// driven a count negative (clamped to zero) — always an accounting
+	// bug somewhere, surfaced instead of masked.
+	AccountingUnderflow int64 `json:"accounting_underflow_total"`
+
+	// Write-ahead journal counters; all zero when running without one.
+	JournalEnabled   bool  `json:"journal_enabled"`
+	JournalRecords   int64 `json:"journal_records_total"`
+	JournalSyncs     int64 `json:"journal_syncs_total"`
+	JournalRotations int64 `json:"journal_rotations_total"`
+	JournalErrors    int64 `json:"journal_errors_total"`
+	JournalSizeBytes int64 `json:"journal_size_bytes"`
+	// JournalReplayed is the record count recovered at startup.
+	JournalReplayed int64 `json:"journal_replayed_records"`
 }

@@ -61,6 +61,12 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining):
 		c.retryAfter(w)
 		fleetError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrJournal):
+		// The campaign was refused because its write-ahead record could
+		// not be made durable — a server-side storage fault, not a bad
+		// request. Retryable once the disk recovers.
+		c.retryAfter(w)
+		fleetError(w, http.StatusServiceUnavailable, "%v", err)
 	case err != nil:
 		var qe *QuotaError
 		if errors.As(err, &qe) {
@@ -192,6 +198,18 @@ func (c *Coordinator) WriteMetrics(w io.Writer) {
 	fmt.Fprintf(w, "# HELP fleet_store_dead_lines Dead lines awaiting compaction.\n# TYPE fleet_store_dead_lines gauge\nfleet_store_dead_lines %d\n", m.StoreDead)
 	writeTenantGauge(w, "fleet_tenant_inflight_jobs", "Leased jobs per tenant.", m.TenantInflight)
 	writeTenantGauge(w, "fleet_tenant_queued_jobs", "Queued jobs per tenant.", m.TenantQueued)
+	fmt.Fprintf(w, "# HELP fleet_accounting_underflow_total Tenant usage updates clamped at zero (accounting bug indicator).\n# TYPE fleet_accounting_underflow_total counter\nfleet_accounting_underflow_total %d\n", m.AccountingUnderflow)
+	enabled := 0
+	if m.JournalEnabled {
+		enabled = 1
+	}
+	fmt.Fprintf(w, "# HELP fleet_journal_enabled Whether a write-ahead journal is configured.\n# TYPE fleet_journal_enabled gauge\nfleet_journal_enabled %d\n", enabled)
+	fmt.Fprintf(w, "# HELP fleet_journal_records_total Journal records appended since start.\n# TYPE fleet_journal_records_total counter\nfleet_journal_records_total %d\n", m.JournalRecords)
+	fmt.Fprintf(w, "# HELP fleet_journal_syncs_total Journal fsyncs.\n# TYPE fleet_journal_syncs_total counter\nfleet_journal_syncs_total %d\n", m.JournalSyncs)
+	fmt.Fprintf(w, "# HELP fleet_journal_rotations_total Journal snapshot rotations.\n# TYPE fleet_journal_rotations_total counter\nfleet_journal_rotations_total %d\n", m.JournalRotations)
+	fmt.Fprintf(w, "# HELP fleet_journal_errors_total Journal append or rotation failures.\n# TYPE fleet_journal_errors_total counter\nfleet_journal_errors_total %d\n", m.JournalErrors)
+	fmt.Fprintf(w, "# HELP fleet_journal_size_bytes Current journal file size.\n# TYPE fleet_journal_size_bytes gauge\nfleet_journal_size_bytes %d\n", m.JournalSizeBytes)
+	fmt.Fprintf(w, "# HELP fleet_journal_replayed_records Journal records replayed at startup.\n# TYPE fleet_journal_replayed_records gauge\nfleet_journal_replayed_records %d\n", m.JournalReplayed)
 }
 
 func writeTenantGauge(w io.Writer, name, help string, counts map[string]int) {

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -81,8 +82,12 @@ func (t *leaseTable) drop(id string) (*lease, bool) {
 	return l, ok
 }
 
-// sweep removes every lease past its deadline and returns them — the
-// caller re-queues their shards.
+// sweep removes every lease past its deadline and returns them sorted
+// by lease id — the caller re-queues their shards. Sorting matters:
+// map iteration order is random, so several leases expiring in the same
+// sweep would otherwise re-queue their shards in a different order on
+// every run, and two coordinators applying the same request sequence
+// (journal replay included) would make divergent WFQ decisions.
 func (t *leaseTable) sweep(now time.Time) []*lease {
 	var out []*lease
 	for id, l := range t.active {
@@ -92,5 +97,20 @@ func (t *leaseTable) sweep(now time.Time) []*lease {
 			out = append(out, l)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
 	return out
+}
+
+// restore reinstates a lease as active (journal replay), recording its
+// tombstone as grant would.
+func (t *leaseTable) restore(l lease) {
+	cp := l
+	t.active[l.id] = &cp
+	t.history[l.id] = l
+}
+
+// remember records only the tombstone of a grant whose shard has since
+// completed, so a late completion against it still resolves.
+func (t *leaseTable) remember(l lease) {
+	t.history[l.id] = l
 }

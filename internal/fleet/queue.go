@@ -90,6 +90,29 @@ func (q *wfq) pick() (id string, shard int, ok bool) {
 	return best.id, shard, true
 }
 
+// grant removes a specific shard from a campaign's pending list and
+// advances the campaign's pass exactly as pick would — the journal-
+// replay analogue of a grant, which must reproduce pick's scheduling
+// side effects without re-running its selection (the journal already
+// recorded which shard won). Reports whether the shard was pending;
+// a false return means the shard fast-completed from the store during
+// replay and the grant collapses to a tombstone.
+func (q *wfq) grant(id string, shard int) bool {
+	e, ok := q.entries[id]
+	if !ok {
+		return false
+	}
+	for i, s := range e.pending {
+		if s == shard {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			e.pass += e.stride
+			q.vtime = e.pass
+			return true
+		}
+	}
+	return false
+}
+
 // take removes a specific shard from a campaign's pending list (a
 // late completion landed while the shard sat re-queued), reporting
 // whether it was there.
@@ -120,10 +143,16 @@ func (q *wfq) depth() int {
 func (q *wfq) remove(id string) { delete(q.entries, id) }
 
 // tenantUsage tracks per-tenant outstanding job counts for quota
-// admission and metrics. Not self-locking.
+// admission and metrics. Not self-locking. Counts clamp at zero: a
+// negative count can only come from an accounting bug (a transition
+// applied twice, a settle against the wrong tenant), and silently
+// deleting the entry — the old behavior — would mask it. Each clamp
+// increments underflow, surfaced as fleet_accounting_underflow_total,
+// so double-settles show up on a dashboard instead of as quota drift.
 type tenantUsage struct {
-	queued   map[string]int // jobs in un-leased shards
-	inflight map[string]int // jobs in active leases
+	queued    map[string]int // jobs in un-leased shards
+	inflight  map[string]int // jobs in active leases
+	underflow int64          // times a count would have gone negative
 }
 
 func newTenantUsage() *tenantUsage {
@@ -135,34 +164,45 @@ func (u *tenantUsage) outstanding(tenant string) int {
 	return u.queued[tenant] + u.inflight[tenant]
 }
 
-func (u *tenantUsage) addQueued(tenant string, jobs int) {
-	u.queued[tenant] += jobs
-	if u.queued[tenant] <= 0 {
-		delete(u.queued, tenant)
+// set installs a clamped count, dropping zero entries so the metrics
+// maps only carry tenants with outstanding work.
+func (u *tenantUsage) set(m map[string]int, tenant string, n int) {
+	if n < 0 {
+		u.underflow++
+		n = 0
 	}
+	if n == 0 {
+		delete(m, tenant)
+		return
+	}
+	m[tenant] = n
+}
+
+func (u *tenantUsage) addQueued(tenant string, jobs int) {
+	u.set(u.queued, tenant, u.queued[tenant]+jobs)
+}
+
+// addInflight restores leased jobs directly (snapshot replay, where the
+// jobs were never in the rebuilt queue to move from).
+func (u *tenantUsage) addInflight(tenant string, jobs int) {
+	u.set(u.inflight, tenant, u.inflight[tenant]+jobs)
 }
 
 // lease moves jobs from queued to inflight.
 func (u *tenantUsage) lease(tenant string, jobs int) {
 	u.addQueued(tenant, -jobs)
-	u.inflight[tenant] += jobs
+	u.addInflight(tenant, jobs)
 }
 
 // requeue moves jobs back from inflight to queued (lease expiry).
 func (u *tenantUsage) requeue(tenant string, jobs int) {
-	u.inflight[tenant] -= jobs
-	if u.inflight[tenant] <= 0 {
-		delete(u.inflight, tenant)
-	}
+	u.set(u.inflight, tenant, u.inflight[tenant]-jobs)
 	u.addQueued(tenant, jobs)
 }
 
 // complete retires inflight jobs.
 func (u *tenantUsage) complete(tenant string, jobs int) {
-	u.inflight[tenant] -= jobs
-	if u.inflight[tenant] <= 0 {
-		delete(u.inflight, tenant)
-	}
+	u.set(u.inflight, tenant, u.inflight[tenant]-jobs)
 }
 
 func copyCounts(m map[string]int) map[string]int {

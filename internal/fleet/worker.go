@@ -100,8 +100,15 @@ func (w *Worker) Draining() bool { return w.draining.Load() }
 
 // jitter spreads d over [d/2, d) so retries desynchronise. rand.Rand
 // is not goroutine-safe, but jitter is only called from the Run loop.
+// The window clamps to >= 1ns: a caller configuring PollInterval <= 1ns
+// leaves no room to jitter over, and Int63n panics on a non-positive
+// bound.
 func (w *Worker) jitter(d time.Duration) time.Duration {
-	return d/2 + time.Duration(w.rng.Int63n(int64(d/2)))
+	half := d / 2
+	if half < 1 {
+		half = 1
+	}
+	return half + time.Duration(w.rng.Int63n(int64(half)))
 }
 
 // sleep waits the jittered duration or until ctx cancels.
@@ -257,8 +264,10 @@ func (w *Worker) complete(ctx context.Context, id string, recs []campaign.Record
 		case status == http.StatusOK:
 			return nil
 		case status == http.StatusNotFound:
-			// Coordinator restarted and lost the lease table; the shard
-			// will be re-run from a fresh lease. Nothing to retry.
+			// Coordinator restarted without a journal (or the journal
+			// rotated the tombstone of a finished campaign away); the
+			// shard will be re-run from a fresh lease if it still
+			// matters. Nothing to retry.
 			return fmt.Errorf("complete: lease %s unknown to coordinator", id)
 		default:
 			lastErr = fmt.Errorf("complete: unexpected status %d", status)

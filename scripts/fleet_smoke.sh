@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# End-to-end fleet fabric smoke: a coordinator and two workers on
-# localhost run a sweep, one worker is SIGKILLed while it holds a
-# lease (its shard expires and migrates), and the fleet CSV must match
-# the single-process CSV bit for bit — the determinism contract of
-# DESIGN.md §10, exercised through real processes and real sockets.
+# End-to-end fleet fabric smoke: a coordinator (with a write-ahead
+# journal) and two workers on localhost run a sweep; mid-sweep the
+# coordinator is SIGKILLed and restarted (the journal must bring back
+# every queued campaign and active lease), then one worker is SIGKILLed
+# while it holds a lease (its shard expires and migrates) — and the
+# fleet CSV must still match the single-process CSV bit for bit: the
+# determinism + durability contract of DESIGN.md §10, exercised through
+# real processes, real sockets and a real kill -9.
 set -euo pipefail
 
 COORD_PORT="${COORD_PORT:-18080}"
@@ -32,10 +35,25 @@ go build -o "$BIN/sweep" ./cmd/sweep
 echo "== serial reference run"
 "$BIN/sweep" "${SWEEP_ARGS[@]}" > "$TMP/serial.csv"
 
+JOURNAL="$TMP/coord/fleet.journal"
+start_coordinator() {
+    "$BIN/nocsimd" -coordinator -addr ":${COORD_PORT}" -data "$TMP/coord" \
+        -journal "$JOURNAL" -shard-size 1 -lease-ttl 3s -pprof=false &
+    COORD_PID=$!
+    PIDS+=("$COORD_PID")
+}
+
+wait_healthy() {
+    for _ in $(seq 50); do
+        curl -sf "$BASE/healthz" >/dev/null && return 0
+        sleep 0.2
+    done
+    echo "coordinator never came up"
+    exit 1
+}
+
 echo "== start coordinator + 2 workers"
-"$BIN/nocsimd" -coordinator -addr ":${COORD_PORT}" -data "$TMP/coord" \
-    -shard-size 1 -lease-ttl 3s -pprof=false &
-PIDS+=($!)
+start_coordinator
 for i in 1 2; do
     "$BIN/nocsimd" -worker "$BASE" -addr ":$((COORD_PORT + i))" \
         -data "$TMP/w$i" -pprof=false &
@@ -43,22 +61,50 @@ for i in 1 2; do
 done
 WORKER1_PID="${PIDS[1]}"
 
-for _ in $(seq 50); do
-    curl -sf "$BASE/healthz" >/dev/null && break
-    sleep 0.2
-done
-curl -sf "$BASE/healthz" >/dev/null || { echo "coordinator never came up"; exit 1; }
+wait_healthy
 
 metric() {
     curl -sf "$BASE/fleet/metrics" | awk -v m="$1" '$1 == m { print $2 }'
 }
 
-echo "== fleet run (worker 1 will be killed mid-shard)"
+echo "== fleet run (coordinator restarts, then worker 1 dies, mid-sweep)"
 "$BIN/sweep" -fleet "$BASE" "${SWEEP_ARGS[@]}" > "$TMP/fleet.csv" &
 SWEEP_PID=$!
 
-# Wait until both workers hold a lease, then kill one outright — no
-# drain, no goodbye; its shard must expire and migrate.
+# Wait until both workers hold a lease, then SIGKILL the coordinator
+# mid-sweep — no drain, no flush beyond the journal's own fsyncs — and
+# restart it on the same journal. The sweep client and both workers
+# retry through the outage; the restarted coordinator must replay the
+# campaign, the queue and both active leases or the sweep hangs/fails.
+leased=0
+for _ in $(seq 150); do
+    if ! kill -0 "$SWEEP_PID" 2>/dev/null; then
+        break
+    fi
+    if [ "$(metric fleet_leases_active || echo 0)" = "2" ]; then
+        leased=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$leased" != 1 ]; then
+    echo "never saw both workers leased; cannot exercise the restart path"
+    exit 1
+fi
+echo "== SIGKILL coordinator (pid $COORD_PID) mid-sweep, restart on journal"
+kill -9 "$COORD_PID"
+wait "$COORD_PID" 2>/dev/null || true
+start_coordinator
+wait_healthy
+replayed="$(metric fleet_journal_replayed_records || echo 0)"
+echo "   restarted coordinator replayed $replayed journal records"
+if [ "${replayed:-0}" -lt 1 ]; then
+    echo "FAIL: restarted coordinator replayed no journal records"
+    exit 1
+fi
+
+# Now kill a worker outright while it holds a lease in the restarted
+# coordinator; its shard must expire and migrate to the survivor.
 killed=0
 for _ in $(seq 150); do
     if ! kill -0 "$SWEEP_PID" 2>/dev/null; then
@@ -73,7 +119,7 @@ for _ in $(seq 150); do
     sleep 0.2
 done
 if [ "$killed" != 1 ]; then
-    echo "never saw both workers leased; cannot exercise the death path"
+    echo "never saw both workers leased after restart; cannot exercise the death path"
     exit 1
 fi
 
