@@ -20,13 +20,14 @@ var tinySpec = spec{
 // consumer (CI artifact diffing, EXPERIMENTS.md tables) keys on.
 func TestReportJSONSchema(t *testing.T) {
 	r := Report{
-		Schema:     "tdmnoc-bench/v2",
+		Schema:     "tdmnoc-bench/v3",
 		GoVersion:  "go-test",
 		GOMAXPROCS: 1,
 		Quick:      true,
 		GeneratedA: "2000-01-01T00:00:00Z",
 		Scenarios:  []Scenario{measure(tinySpec, 200, 100)},
-		Traced:     []TracedScenario{measureTraced(tinySpec, 200, 100, 1000)},
+		Traced:     []TracedScenario{measureTraced(tinySpec, 200, 100)},
+		Parity:     []TracedParity{checkParity(tinySpec, 200, "")},
 		Digests:    []DigestCheck{checkDigest(tinySpec, 200)},
 		Parallel: []ParallelPoint{{
 			Name: "smoke-scale", Width: 4, Height: 4, Workers: 2,
@@ -43,10 +44,10 @@ func TestReportJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if got := doc["schema"]; got != "tdmnoc-bench/v2" {
-		t.Fatalf("schema = %v, want tdmnoc-bench/v2", got)
+	if got := doc["schema"]; got != "tdmnoc-bench/v3" {
+		t.Fatalf("schema = %v, want tdmnoc-bench/v3", got)
 	}
-	for _, key := range []string{"go_version", "gomaxprocs", "quick", "generated_at", "scenarios", "determinism", "parallel"} {
+	for _, key := range []string{"go_version", "gomaxprocs", "quick", "generated_at", "scenarios", "traced_parity", "determinism", "parallel"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("report missing top-level key %q", key)
 		}
@@ -79,15 +80,53 @@ func TestReportJSONSchema(t *testing.T) {
 	}
 	tr := traced[0].(map[string]any)
 	for _, key := range []string{
-		"name", "telemetry_every", "ns_per_cycle", "baseline_ns_per_cycle",
-		"overhead_fraction", "allocs_per_cycle", "events_per_cycle", "ring_drops", "traced_zero_alloc",
+		"name", "telemetry_every", "profile", "kind_mask", "ring_sample",
+		"ns_per_cycle", "baseline_ns_per_cycle",
+		"overhead_fraction", "allocs_per_cycle", "events_per_cycle", "ring_drops",
+		"traced_zero_alloc", "ring_capacity",
 	} {
 		if _, ok := tr[key]; !ok {
 			t.Errorf("traced scenario missing key %q", key)
 		}
 	}
+	if p := tr["profile"]; p != "flows" {
+		t.Errorf("traced profile = %v, want %q", p, "flows")
+	}
 	if ev := tr["events_per_cycle"].(float64); ev <= 0 {
 		t.Errorf("events_per_cycle = %v, want > 0 with the recorder attached", ev)
+	}
+	if drops := tr["ring_drops"].(float64); drops != 0 {
+		t.Errorf("ring_drops = %v, want 0 — the traced ring is sized drop-free", drops)
+	}
+
+	parity, ok := doc["traced_parity"].([]any)
+	if !ok || len(parity) != 1 {
+		t.Fatalf("traced_parity = %v, want one entry", doc["traced_parity"])
+	}
+	pe := parity[0].(map[string]any)
+	for _, key := range []string{"name", "cycles", "untraced_serial_digest", "points"} {
+		if _, ok := pe[key]; !ok {
+			t.Errorf("traced_parity entry missing key %q", key)
+		}
+	}
+	points, ok := pe["points"].([]any)
+	if !ok || len(points) != 3 {
+		t.Fatalf("traced_parity points = %v, want the {1,4,8} worker matrix", pe["points"])
+	}
+	for i, raw := range points {
+		pp := raw.(map[string]any)
+		for _, key := range []string{"workers", "digest", "digest_match", "trace_match", "trace_bytes", "ring_drops", "invariants_ok"} {
+			if _, ok := pp[key]; !ok {
+				t.Errorf("parity point %d missing key %q", i, key)
+			}
+		}
+		if pp["digest_match"] != true || pp["trace_match"] != true {
+			t.Errorf("parity point %d: digest_match=%v trace_match=%v on the smoke config",
+				i, pp["digest_match"], pp["trace_match"])
+		}
+		if drops := pp["ring_drops"].(float64); drops != 0 {
+			t.Errorf("parity point %d dropped %v ring events", i, drops)
+		}
 	}
 
 	digests, ok := doc["determinism"].([]any)
@@ -153,6 +192,36 @@ func TestStrictViolations(t *testing.T) {
 	bad.Digests = []DigestCheck{{Name: "a", Match: false}}
 	if v := strictViolations(bad); len(v) != 4 {
 		t.Fatalf("violations = %v, want alloc + traced-alloc + mismatch + invariant entries", v)
+	}
+}
+
+// TestStrictTracedGates pins the new traced-section gates: overhead
+// beyond the tracing budget and any ring drop each fail -strict, and
+// every parity point is gated on digest match, trace match, drops and
+// invariants independently.
+func TestStrictTracedGates(t *testing.T) {
+	slow := Report{Traced: []TracedScenario{{Name: "a", OverheadFraction: 0.17, TracedZeroAlloc: true}}}
+	if v := strictViolations(slow); len(v) != 1 {
+		t.Fatalf("violations = %v, want the overhead entry", v)
+	}
+	droppy := Report{Traced: []TracedScenario{{Name: "a", RingDrops: 9, TracedZeroAlloc: true}}}
+	if v := strictViolations(droppy); len(v) != 1 {
+		t.Fatalf("violations = %v, want the ring-drops entry", v)
+	}
+	within := Report{Traced: []TracedScenario{{Name: "a", OverheadFraction: 0.09, TracedZeroAlloc: true}}}
+	if v := strictViolations(within); len(v) != 0 {
+		t.Fatalf("within-budget overhead flagged: %v", v)
+	}
+
+	cleanPt := ParityPoint{Workers: 4, DigestMatch: true, TraceMatch: true, InvariantsOK: true}
+	clean := Report{Parity: []TracedParity{{Name: "p", Points: []ParityPoint{cleanPt}}}}
+	if v := strictViolations(clean); len(v) != 0 {
+		t.Fatalf("clean parity flagged: %v", v)
+	}
+	badPt := ParityPoint{Workers: 8, DigestMatch: false, TraceMatch: false, RingDrops: 3, InvariantsOK: false}
+	broken := Report{Parity: []TracedParity{{Name: "p", Points: []ParityPoint{badPt}}}}
+	if v := strictViolations(broken); len(v) != 4 {
+		t.Fatalf("violations = %v, want digest + trace + drops + invariant entries", v)
 	}
 }
 

@@ -327,10 +327,20 @@ func TestServiceTelemetryCampaign(t *testing.T) {
 		if sum["injected"].(float64) == 0 || sum["events"].(float64) == 0 {
 			t.Errorf("row %s telemetry looks empty: %v", row.Label, sum)
 		}
+		// The timeline payload carries the dropped-windows counter so
+		// clients can tell a truncated series from a complete one.
+		if dw, ok := sum["dropped_windows"].(float64); !ok {
+			t.Errorf("row %s telemetry lacks dropped_windows: %v", row.Label, sum)
+		} else if dw != 0 {
+			t.Errorf("row %s dropped %v windows in a short run", row.Label, dw)
+		}
 	}
 
 	if got := metric(t, ts, "nocsimd_telemetry_jobs"); got != 4 {
 		t.Errorf("nocsimd_telemetry_jobs = %d, want 4", got)
+	}
+	if got := metric(t, ts, "nocsimd_telemetry_dropped_windows_total"); got != 0 {
+		t.Errorf("nocsimd_telemetry_dropped_windows_total = %d, want 0", got)
 	}
 	if got := metric(t, ts, "nocsimd_jobs_inflight"); got != 0 {
 		t.Errorf("nocsimd_jobs_inflight = %d after completion, want 0", got)

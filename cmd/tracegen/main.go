@@ -165,6 +165,7 @@ func runReplay(path, mode, traceOut string) {
 			Nodes:        tr.Width * tr.Height,
 			RingCapacity: 1 << 19,
 			SampleEvery:  64,
+			Shards:       net.Workers(),
 		})
 		net.AttachProbe(rec, 64)
 	}
@@ -199,7 +200,8 @@ func runReplay(path, mode, traceOut string) {
 				"ring_drops": fmt.Sprintf("%d", rec.Dropped()),
 			},
 		}
-		if err := obs.WriteTrace(f, rec.Ring(), meta); err != nil {
+		events := obs.MergeRings(rec.Rings(), tr.Width, tr.Height)
+		if err := obs.WriteTraceEvents(f, events, meta); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -14,23 +14,30 @@ type TelemetryOptions struct {
 	// Every closes a time-series window every K cycles (default 64;
 	// <= 0 keeps the default — use the event ring alone via WriteTrace).
 	Every int
-	// RingCapacity bounds the event timeline (default 1 << 16 events;
-	// raise it for full-fidelity Perfetto traces of longer runs).
+	// RingCapacity bounds each worker shard's event timeline, rounded up
+	// to a power of two (default 1 << 16 events; raise it for
+	// full-fidelity Perfetto traces of longer runs).
 	RingCapacity int
 	// MaxSamples bounds the retained time-series windows (default 4096).
 	MaxSamples int
+	// KindMask restricts recording to the selected event kinds (0 = all;
+	// build with obs.MaskOf). Masked kinds cost one branch per emission.
+	KindMask uint32
+	// RingSample records only every N-th event per emitter to the rings
+	// (<= 1 = all). Aggregate counters stay exact; the sampled timeline
+	// is deterministic across worker counts.
+	RingSample int
 }
 
 // AttachTelemetry creates an obs.Recorder sized by opt and attaches it
 // to the simulator's network. Call it before Warmup/Run; the recorder
-// then observes the rest of the simulation. Like TraceEvents it requires
-// a serial executor (Workers <= 1) and is not available for HybridSDM.
+// then observes the rest of the simulation. Parallel executors are fully
+// supported — the recorder keeps one shard per worker and merges them
+// deterministically at export, so traces and summaries are byte-identical
+// across worker counts. Not available for HybridSDM.
 func (s *Simulator) AttachTelemetry(opt TelemetryOptions) (*obs.Recorder, error) {
 	if s.net == nil {
 		return nil, fmt.Errorf("hsnoc: telemetry is not available for %v", s.mode)
-	}
-	if s.cfg.Workers > 1 {
-		return nil, fmt.Errorf("hsnoc: telemetry requires Workers <= 1")
 	}
 	if s.rec != nil {
 		return nil, fmt.Errorf("hsnoc: telemetry already attached")
@@ -44,6 +51,9 @@ func (s *Simulator) AttachTelemetry(opt TelemetryOptions) (*obs.Recorder, error)
 		RingCapacity: opt.RingCapacity,
 		SampleEvery:  every,
 		MaxSamples:   opt.MaxSamples,
+		Shards:       s.net.Workers(),
+		KindMask:     opt.KindMask,
+		RingSample:   opt.RingSample,
 	})
 	s.net.AttachProbe(rec, every)
 	s.rec = rec
@@ -76,7 +86,9 @@ func (s *Simulator) WriteTrace(w io.Writer) error {
 	}
 	m := s.net.Mesh()
 	// No toolchain or timestamp metadata: the trace must be a pure
-	// function of (config, seed) so golden-file tests pin it.
+	// function of (config, seed) so golden-file tests pin it. The shard
+	// rings are merged into the deterministic timeline first, so the
+	// bytes do not depend on the worker count either.
 	meta := obs.TraceMeta{
 		Width: m.Width, Height: m.Height,
 		OtherData: map[string]string{
@@ -86,7 +98,8 @@ func (s *Simulator) WriteTrace(w io.Writer) error {
 			"ring_drops": fmt.Sprintf("%d", s.rec.Dropped()),
 		},
 	}
-	return obs.WriteTrace(w, s.rec.Ring(), meta)
+	events := obs.MergeRings(s.rec.Rings(), m.Width, m.Height)
+	return obs.WriteTraceEvents(w, events, meta)
 }
 
 // RenderTelemetry renders the recorded time-series windows as terminal

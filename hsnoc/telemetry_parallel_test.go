@@ -1,0 +1,151 @@
+package hsnoc
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"tdmnoc/internal/obs"
+)
+
+// tracedScenario builds the traced worker-matrix scenario: a 4x4
+// hybrid-TDM mesh under tornado traffic, invariant checking on so the
+// rolling digest is collected.
+func tracedScenario(workers int) Config {
+	cfg := DefaultConfig(4, 4)
+	cfg.Mode = HybridTDM
+	cfg.Seed = 11
+	cfg.Workers = workers
+	cfg.CheckInvariants = true
+	cfg.CheckInterval = 64
+	return cfg
+}
+
+// tracedRun runs the scenario traced and returns the exported trace
+// bytes, the marshalled telemetry summary, and the rolling digest.
+func tracedRun(t *testing.T, workers int) (trace, summary []byte, digest uint64) {
+	t.Helper()
+	s := NewSynthetic(tracedScenario(workers), Tornado, 0.15)
+	defer s.Close()
+	rec, err := s.AttachTelemetry(TelemetryOptions{Every: 64, RingCapacity: 1 << 17})
+	if err != nil {
+		t.Fatalf("AttachTelemetry(workers=%d): %v", workers, err)
+	}
+	s.Warmup(300)
+	s.Run(1200)
+	if err := s.InvariantError(); err != nil {
+		t.Fatalf("workers=%d: invariant violations: %v", workers, err)
+	}
+	if d := rec.Dropped(); d != 0 {
+		t.Fatalf("workers=%d: ring dropped %d events — scenario must be drop-free", workers, d)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace(workers=%d): %v", workers, err)
+	}
+	sum, err := json.Marshal(rec.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), sum, s.RollingDigest()
+}
+
+// TestMergePreservesSerialOrder pins the merge fidelity contract at its
+// root: for a single-shard (serial) recorder, MergeRings must return the
+// ring's events in exactly their emission order — the stable sort by
+// (cycle, class, emitter) is the identity on a serial stream. Everything
+// else (golden trace stability, worker invariance) builds on this.
+func TestMergePreservesSerialOrder(t *testing.T) {
+	s := NewSynthetic(tracedScenario(1), Tornado, 0.15)
+	defer s.Close()
+	rec, err := s.AttachTelemetry(TelemetryOptions{Every: 64, RingCapacity: 1 << 17})
+	if err != nil {
+		t.Fatalf("AttachTelemetry: %v", err)
+	}
+	s.Warmup(300)
+	s.Run(1200)
+	raw := rec.Ring().Snapshot()
+	merged := obs.MergeRings(rec.Rings(), 4, 4)
+	if len(raw) != len(merged) {
+		t.Fatalf("merged %d events, raw %d", len(merged), len(raw))
+	}
+	for i := range raw {
+		if raw[i] != merged[i] {
+			t.Fatalf("merge reordered the serial stream at %d:\n raw    %+v\n merged %+v",
+				i, raw[i], merged[i])
+		}
+	}
+}
+
+// TestTraceBytesWorkerInvariant is the tentpole acceptance property:
+// the exported Perfetto trace and the telemetry summary are
+// byte-identical at Workers 1, 4 and 8 — sharded recording plus the
+// deterministic merge reconstruct the serial timeline exactly.
+func TestTraceBytesWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker matrix in -short mode")
+	}
+	trace1, sum1, _ := tracedRun(t, 1)
+	for _, w := range []int{4, 8} {
+		traceW, sumW, _ := tracedRun(t, w)
+		if !bytes.Equal(trace1, traceW) {
+			t.Errorf("trace bytes differ between Workers=1 (%d bytes) and Workers=%d (%d bytes)",
+				len(trace1), w, len(traceW))
+		}
+		if !bytes.Equal(sum1, sumW) {
+			t.Errorf("summaries differ between Workers=1 and Workers=%d:\n %s\n %s", w, sum1, sumW)
+		}
+	}
+}
+
+// TestTracedDigestMatchesUntraced asserts tracing is a pure observer:
+// at every worker count the traced run's rolling invariant digest equals
+// the untraced serial run's digest.
+func TestTracedDigestMatchesUntraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker matrix in -short mode")
+	}
+	// Untraced serial baseline.
+	base := NewSynthetic(tracedScenario(1), Tornado, 0.15)
+	base.Warmup(300)
+	base.Run(1200)
+	want := base.RollingDigest()
+	base.Close()
+	if want == 0 {
+		t.Fatal("baseline digest is zero — invariant checking not active")
+	}
+	for _, w := range []int{1, 4, 8} {
+		if _, _, got := tracedRun(t, w); got != want {
+			t.Errorf("traced digest at Workers=%d = %#x, untraced serial = %#x", w, got, want)
+		}
+	}
+}
+
+// TestTracedParallelRace drives a fully traced Workers=8 run to
+// completion including drain and export; CI runs this package under
+// -race, making it the data-race canary for per-worker shard writes.
+func TestTracedParallelRace(t *testing.T) {
+	s := NewSynthetic(tracedScenario(8), UniformRandom, 0.25)
+	defer s.Close()
+	rec, err := s.AttachTelemetry(TelemetryOptions{Every: 32, RingCapacity: 1 << 16})
+	if err != nil {
+		t.Fatalf("AttachTelemetry: %v", err)
+	}
+	s.Warmup(200)
+	res := s.Run(1000)
+	s.StopTraffic()
+	s.Drain(2000)
+	if err := s.InvariantError(); err != nil {
+		t.Fatalf("invariant violations: %v", err)
+	}
+	if res.Packets == 0 || rec.Events() == 0 {
+		t.Fatalf("run moved no traffic (packets=%d, events=%d)", res.Packets, rec.Events())
+	}
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+}

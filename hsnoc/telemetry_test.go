@@ -114,7 +114,8 @@ func TestGoldenPerfettoTrace(t *testing.T) {
 	}
 }
 
-// TestTelemetryRestrictions: the attach preconditions fail loudly.
+// TestTelemetryRestrictions: the attach preconditions fail loudly, and
+// parallel executors are accepted (one recorder shard per worker).
 func TestTelemetryRestrictions(t *testing.T) {
 	sdm := DefaultConfig(4, 4)
 	sdm.Mode = HybridSDM
@@ -129,8 +130,17 @@ func TestTelemetryRestrictions(t *testing.T) {
 	par.Workers = 2
 	p := NewSynthetic(par, Tornado, 0.05)
 	defer p.Close()
-	if _, err := p.AttachTelemetry(TelemetryOptions{}); err == nil {
-		t.Error("telemetry attached with Workers > 1")
+	rec, err := p.AttachTelemetry(TelemetryOptions{})
+	if err != nil {
+		t.Fatalf("telemetry refused with Workers = 2: %v", err)
+	}
+	if rec.Shards() < 2 {
+		t.Errorf("parallel recorder has %d shards, want >= 2", rec.Shards())
+	}
+	p.Warmup(100)
+	p.Run(200)
+	if rec.Events() == 0 {
+		t.Error("parallel traced run recorded no events")
 	}
 
 	ok := DefaultConfig(4, 4)

@@ -661,6 +661,46 @@ func TestCampaignTelemetry(t *testing.T) {
 	}
 }
 
+// TestCampaignTelemetryParallelSim: a telemetry campaign over a parallel
+// simulator executor runs cleanly and its per-job summary is
+// byte-identical to the serial-executor run — the sharded recorder's
+// deterministic merge holds through the campaign layer.
+func TestCampaignTelemetryParallelSim(t *testing.T) {
+	run := func(simWorkers int) []byte {
+		spec := Spec{
+			Modes:          []string{"tdm"},
+			Patterns:       []string{"tornado"},
+			Meshes:         []MeshSize{{Width: 4, Height: 4}},
+			Rates:          []float64{0.15},
+			WarmupCycles:   200,
+			MeasureCycles:  1000,
+			TelemetryEvery: 64,
+			SimWorkers:     simWorkers,
+		}
+		jobs, err := spec.Expand()
+		if err != nil {
+			t.Fatalf("expand (sim_workers=%d): %v", simWorkers, err)
+		}
+		eng := New(Options{Workers: 1})
+		recs := eng.Run(context.Background(), jobs)
+		if recs[0].Err != "" {
+			t.Fatalf("job failed (sim_workers=%d): %s", simWorkers, recs[0].Err)
+		}
+		if recs[0].Telemetry == nil {
+			t.Fatalf("record carries no telemetry summary (sim_workers=%d)", simWorkers)
+		}
+		b, err := json.Marshal(recs[0].Telemetry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial, parallel := run(1), run(2)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("telemetry summaries diverge between sim_workers 1 and 2:\n %s\n %s", serial, parallel)
+	}
+}
+
 // TestSpecTelemetryValidation: telemetry conflicts fail loudly at
 // Normalize instead of producing per-job attach errors.
 func TestSpecTelemetryValidation(t *testing.T) {
@@ -674,11 +714,13 @@ func TestSpecTelemetryValidation(t *testing.T) {
 	if err := neg.Normalize(); err == nil {
 		t.Error("negative telemetry_every accepted")
 	}
+	// Telemetry under a parallel executor is supported (sharded recorder
+	// with deterministic merge), so this combination must normalize.
 	par := base
 	par.TelemetryEvery = 64
 	par.SimWorkers = 2
-	if err := par.Normalize(); err == nil {
-		t.Error("telemetry with sim_workers 2 accepted")
+	if err := par.Normalize(); err != nil {
+		t.Errorf("telemetry with sim_workers 2 rejected: %v", err)
 	}
 	sdm := base
 	sdm.TelemetryEvery = 64

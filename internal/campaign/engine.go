@@ -56,6 +56,7 @@ type Engine struct {
 	telemSteals     atomic.Int64
 	telemSetupSum   atomic.Int64
 	telemSetupCount atomic.Uint64
+	telemDroppedWin atomic.Uint64
 	telemBuckets    [len(obs.LatencyBuckets) + 1]atomic.Uint64
 
 	draining atomic.Bool
@@ -107,17 +108,22 @@ type Telemetry struct {
 	SetupSum   int64    `json:"setup_latency_sum_cycles"`
 	BucketLE   []int64  `json:"bucket_le"`
 	Buckets    []uint64 `json:"setup_latency_buckets"`
+	// DroppedWindows sums the recorder windows evicted past MaxSamples
+	// across jobs — nonzero means some timelines are truncated at the
+	// head and long-run plots start late.
+	DroppedWindows uint64 `json:"dropped_windows"`
 }
 
 // Telemetry snapshots the aggregated observability counters.
 func (e *Engine) Telemetry() Telemetry {
 	t := Telemetry{
-		Jobs:       e.telemJobs.Load(),
-		SlotSteals: e.telemSteals.Load(),
-		SetupCount: e.telemSetupCount.Load(),
-		SetupSum:   e.telemSetupSum.Load(),
-		BucketLE:   append([]int64(nil), obs.LatencyBuckets[:]...),
-		Buckets:    make([]uint64, len(e.telemBuckets)),
+		Jobs:           e.telemJobs.Load(),
+		SlotSteals:     e.telemSteals.Load(),
+		SetupCount:     e.telemSetupCount.Load(),
+		SetupSum:       e.telemSetupSum.Load(),
+		DroppedWindows: e.telemDroppedWin.Load(),
+		BucketLE:       append([]int64(nil), obs.LatencyBuckets[:]...),
+		Buckets:        make([]uint64, len(e.telemBuckets)),
 	}
 	for i := range e.telemBuckets {
 		t.Buckets[i] = e.telemBuckets[i].Load()
@@ -250,6 +256,7 @@ func (e *Engine) runOne(ctx context.Context, j Job) (rec Record) {
 		e.telemSteals.Add(sum.Steals)
 		e.telemSetupSum.Add(sum.SetupLatency.Sum)
 		e.telemSetupCount.Add(sum.SetupLatency.Total)
+		e.telemDroppedWin.Add(sum.DroppedWindows)
 		for i, c := range sum.SetupLatency.Counts {
 			e.telemBuckets[i].Add(c)
 		}

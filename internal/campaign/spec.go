@@ -145,9 +145,6 @@ func (s *Spec) Normalize() error {
 	if s.TelemetryEvery < 0 {
 		return fmt.Errorf("campaign: telemetry_every %d negative", s.TelemetryEvery)
 	}
-	if s.TelemetryEvery > 0 && s.SimWorkers > 1 {
-		return fmt.Errorf("campaign: telemetry requires sim_workers <= 1")
-	}
 	for _, m := range s.Modes {
 		mode, err := ParseMode(m)
 		if err != nil {

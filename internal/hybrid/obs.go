@@ -6,8 +6,8 @@ import "tdmnoc/internal/obs"
 // tables: Val = reserved entries across all input ports, Slot = the
 // active (powered) region size. Called by the network's periodic
 // telemetry pass; p must be non-nil.
-func SampleTables(p obs.Probe, now int64, node int, t *RouterTables) {
-	if t == nil {
+func SampleTables(p *obs.Handle, now int64, node int, t *RouterTables) {
+	if t == nil || !p.Wants(obs.KindSlotOccupancy) {
 		return
 	}
 	p.Emit(obs.Event{Cycle: now, Kind: obs.KindSlotOccupancy,

@@ -168,13 +168,15 @@ type Resizer struct {
 	resizeEvents int
 
 	// probe, when non-nil, receives a KindSlotResize event on every
-	// doubling (Node = -1: the policy is network-wide).
-	probe obs.Probe
+	// doubling (Node = -1: the policy is network-wide). The resizer runs
+	// between cycles on the caller goroutine, so it gets the recorder's
+	// control handle.
+	probe *obs.Handle
 }
 
 // SetProbe installs (or, with nil, removes) the resizer's observability
-// probe.
-func (r *Resizer) SetProbe(p obs.Probe) { r.probe = p }
+// handle.
+func (r *Resizer) SetProbe(p *obs.Handle) { r.probe = p }
 
 // DefaultResizer starts at capacity/8 (at least 8 slots) and doubles after
 // 16 consecutive failures.
@@ -217,7 +219,7 @@ func (r *Resizer) RecordSetupResultAt(ok bool, now int64) (int, bool) {
 		r.active = min(r.active*2, r.Capacity)
 		r.consecFails = 0
 		r.resizeEvents++
-		if r.probe != nil {
+		if r.probe.Wants(obs.KindSlotResize) {
 			r.probe.Emit(obs.Event{Cycle: now, Kind: obs.KindSlotResize,
 				Node: -1, Val: int64(r.active)})
 		}

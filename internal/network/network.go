@@ -32,9 +32,11 @@ type Network struct {
 	// (nil unless cfg.PoolMessages).
 	sharedPool *flit.SharedPool
 
-	// probe is the attached observability probe (nil = tracing off);
-	// probeEvery is the telemetry sampling interval in cycles.
-	probe      obs.Probe
+	// rec is the attached observability recorder (nil = tracing off);
+	// control is its between-cycle control handle, used for the sampled
+	// gauges; probeEvery is the telemetry sampling interval in cycles.
+	rec        *obs.Recorder
+	control    *obs.Handle
 	probeEvery int64
 
 	resizer *hybrid.Resizer
@@ -119,6 +121,10 @@ func (n *Network) Close() { n.exec.Close() }
 // Mesh returns the network topology.
 func (n *Network) Mesh() topology.Mesh { return n.mesh }
 
+// Workers returns the executor's effective worker count (>= 1). A
+// recorder attached via AttachProbe needs at least this many shards.
+func (n *Network) Workers() int { return n.exec.Workers() }
+
 // Now returns the current simulation cycle.
 func (n *Network) Now() sim.Cycle { return n.clock.Now() }
 
@@ -145,12 +151,12 @@ func (n *Network) ResizeEvents() int { return n.resizer.ResizeEvents() }
 func (n *Network) Step() {
 	n.exec.Step()
 	n.manage()
-	if n.probe != nil {
+	if n.rec != nil {
 		now := int64(n.clock.Now())
 		if n.probeEvery > 0 && now%n.probeEvery == 0 {
 			n.sampleTelemetry(now)
 		}
-		n.probe.Sync(now)
+		n.rec.Sync(now)
 	}
 	if n.checker != nil {
 		if now := int64(n.clock.Now()); n.checker.Due(now) {

@@ -209,9 +209,9 @@ type NI struct {
 	TotalSent    int64
 	TotalEjected int64
 
-	// probe, when non-nil, receives observability events (serial runs
-	// only; installed by Network.AttachProbe).
-	probe obs.Probe
+	// probe, when non-nil, receives observability events (installed by
+	// Network.AttachProbe; bound to the owning worker's shard).
+	probe *obs.Handle
 
 	seq uint64
 }
@@ -313,7 +313,7 @@ func (ni *NI) Circuits() int { return len(ni.circuits) }
 func (ni *NI) Tick(now sim.Cycle, phase sim.Phase) {
 	if phase == sim.PhaseTransfer {
 		if f := ni.r.TakeLocalEject(); f != nil {
-			if ni.probe != nil {
+			if ni.probe.Wants(obs.KindLinkTraverse) {
 				// The ejection link is the router's Local output; counting it
 				// here keeps the per-link heatmap's local cells meaningful.
 				var cs uint8
@@ -352,13 +352,13 @@ func (ni *NI) applyDLTEvents(now sim.Cycle) {
 	for _, e := range ni.dltEventBuf {
 		if e.Add {
 			ni.dlt.Update(e.Dst, e.Slot, e.Dur, e.In)
-			if ni.probe != nil {
+			if ni.probe.Wants(obs.KindDLTAdd) {
 				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindDLTAdd,
 					Node: int32(ni.id), A: uint8(e.In), Slot: int32(e.Slot), Val: int64(e.Dur)})
 			}
 		} else {
 			ni.dlt.Remove(e.Dst)
-			if ni.probe != nil {
+			if ni.probe.Wants(obs.KindDLTRemove) {
 				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindDLTRemove,
 					Node: int32(ni.id)})
 			}
@@ -392,7 +392,7 @@ func (ni *NI) processRX(now sim.Cycle) {
 			}
 			pkt.EjectedAt = int64(rf.at)
 			ni.TotalEjected++
-			if ni.probe != nil {
+			if ni.probe.Wants(obs.KindEject) {
 				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindEject,
 					Node: int32(ni.id), Pkt: pkt.ID, Val: pkt.EjectedAt - pkt.InjectedAt})
 			}
@@ -431,7 +431,7 @@ func (ni *NI) reinjectHopOff(pkt *flit.Packet) {
 func (ni *NI) handleAck(now sim.Cycle, pkt *flit.Packet) {
 	cfg := &ni.net.cfg
 	dst := pkt.Config.CircuitDst
-	if ni.probe != nil {
+	if ni.probe.Wants(obs.KindSetupLatency) {
 		// One ack = one observed setup round trip. Measured against the
 		// pending record (if the setup is still wanted) so retries each
 		// report their own latency.
@@ -936,7 +936,7 @@ func (ni *NI) stageCS(now sim.Cycle) {
 		if pkt.InjectedAt == 0 {
 			pkt.InjectedAt = int64(now + 1)
 			ni.Stats.RecordInjection(pkt)
-			if ni.probe != nil {
+			if ni.probe.Wants(obs.KindInject) {
 				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindInject,
 					Node: int32(ni.id), B: 1, Pkt: pkt.ID, Val: int64(pkt.Flits)})
 			}
@@ -1034,7 +1034,7 @@ func (ni *NI) tryStartPS(now sim.Cycle) {
 		pkt.InjectedAt = int64(now + 1)
 		if pkt.Kind == flit.DataPacket {
 			ni.Stats.RecordInjection(pkt)
-			if ni.probe != nil {
+			if ni.probe.Wants(obs.KindInject) {
 				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindInject,
 					Node: int32(ni.id), Pkt: pkt.ID, Val: int64(pkt.Flits)})
 			}

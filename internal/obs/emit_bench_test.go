@@ -1,0 +1,16 @@
+package obs
+
+import "testing"
+
+// BenchmarkHandleEmit measures the hot emit path with the dominant
+// event kind (link traversals), ring recording on, nothing masked.
+func BenchmarkHandleEmit(b *testing.B) {
+	r := NewRecorder(RecorderConfig{Nodes: 36, RingCapacity: 1 << 16})
+	h := r.Handle(0)
+	e := Event{Cycle: 1, Kind: KindLinkTraverse, Node: 7, A: 2, B: 1, Pkt: 99, Seq: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Cycle = int64(i)
+		h.Emit(e)
+	}
+}

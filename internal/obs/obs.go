@@ -1,7 +1,7 @@
-// Package obs is the cycle-level observability subsystem: a nil-safe
-// Probe interface threaded through the router pipeline, the hybrid
-// circuit-switching layer, the network interfaces and the power meters,
-// with a preallocated ring buffer behind it and three sinks on top — a
+// Package obs is the cycle-level observability subsystem: per-worker
+// sharded event rings written through concrete per-tile Handles threaded
+// into the router pipeline, the hybrid circuit-switching layer, the
+// network interfaces and the power meters, with three sinks on top — a
 // Chrome trace-event / Perfetto exporter, a time-series collector
 // rendered via internal/textplot, and a compact JSON summary for the
 // nocsimd service and the campaign result store.
@@ -9,23 +9,26 @@
 // The contract that makes tracing affordable:
 //
 //   - Disabled path: every emission site is guarded by a plain nil
-//     check on the owner's probe field. No interface call, no event
+//     check on the owner's *Handle field. No call, no event
 //     construction, no allocation — the zero-allocation steady state of
 //     the cycle hot path is preserved bit-for-bit.
-//   - Enabled path: events land in a bounded ring buffer that was
-//     allocated up front. When the ring is full the oldest event is
-//     overwritten and a drop counter increments; Emit itself never
-//     allocates, so a traced steady-state cycle is still allocation-free.
+//   - Enabled path: Handle.Emit is a concrete (devirtualized) call that
+//     checks a kind mask (a masked-out kind costs one branch), bumps the
+//     owning Shard's counters, and pushes into that shard's bounded
+//     power-of-two ring, preallocated up front. When a ring is full the
+//     oldest event is overwritten and a drop counter increments; Emit
+//     never allocates, so a traced steady-state cycle stays
+//     allocation-free.
+//   - Parallel path: each executor worker owns one Shard; tiles emit
+//     only into their owner's shard, so no cross-worker sharing exists
+//     during a cycle, and the executor's phase barriers order shard
+//     writes before the caller's between-cycle Sync/export reads.
+//     MergeRings reconstructs the single deterministic timeline at
+//     export, byte-identical across worker counts.
 //
-// Nil-safety caveat: the guards compare the probe interface against nil,
-// so callers must install either a nil interface or a non-nil concrete
-// value. Storing a typed-nil pointer (var r *Recorder; SetProbe(r))
-// makes the interface non-nil and the emission sites will call methods
-// on a nil receiver. The hsnoc layer only ever hands out live Recorders,
-// so this only concerns direct users of the internal packages.
-//
-// Probes run inside compute ticks and are therefore only supported with
-// a serial executor (Workers == 1), exactly like router.EventSink.
+// Handles run inside compute/transfer ticks; everything else on the
+// Recorder (Sync, Summary, export) belongs to the caller goroutine
+// between cycles.
 package obs
 
 // Kind classifies one observed event.
@@ -146,16 +149,4 @@ type Event struct {
 	Kind Kind
 	// A and B are kind-specific small arguments (usually ports).
 	A, B uint8
-}
-
-// Probe receives events from the simulation. Implementations must not
-// allocate in Emit — it runs inside the cycle hot path — and must not
-// touch other simulation entities (same contract as router.EventSink).
-type Probe interface {
-	// Emit records one event.
-	Emit(e Event)
-	// Sync is called once between cycles (after the transfer phase and
-	// the network managers) with the post-step cycle number. Sinks use it
-	// to close sampling windows; it too must not allocate in steady state.
-	Sync(now int64)
 }

@@ -7,12 +7,17 @@ import (
 )
 
 func TestRingDropOldest(t *testing.T) {
+	// A requested capacity of 3 rounds UP to the power of two 4; drop
+	// order across the wrap boundary is still strictly oldest-first.
 	r := NewRing(3)
-	for i := 0; i < 5; i++ {
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d, want 4 (rounded up to a power of two)", r.Cap())
+	}
+	for i := 0; i < 6; i++ {
 		r.Push(Event{Cycle: int64(i)})
 	}
-	if r.Len() != 3 || r.Cap() != 3 {
-		t.Fatalf("len/cap = %d/%d, want 3/3", r.Len(), r.Cap())
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
 	}
 	if r.Dropped() != 2 {
 		t.Errorf("dropped = %d, want 2", r.Dropped())
@@ -25,8 +30,39 @@ func TestRingDropOldest(t *testing.T) {
 	}
 	var got []int64
 	r.Do(func(e Event) { got = append(got, e.Cycle) })
-	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
-		t.Errorf("Do order = %v, want [2 3 4]", got)
+	if len(got) != 4 || got[0] != 2 || got[3] != 5 {
+		t.Errorf("Do order = %v, want [2 3 4 5]", got)
+	}
+}
+
+// TestRingPowerOfTwoRounding pins the construction contract: capacities
+// round up to the next power of two (never down — drop-free sizing may
+// only gain headroom), and drop semantics at the exact boundary are
+// unchanged from an exact-power request.
+func TestRingPowerOfTwoRounding(t *testing.T) {
+	cases := []struct{ req, want int }{
+		{-5, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{63, 64}, {64, 64}, {65, 128}, {1 << 16, 1 << 16}, {1<<16 + 1, 1 << 17},
+	}
+	for _, c := range cases {
+		if got := NewRing(c.req).Cap(); got != c.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", c.req, got, c.want)
+		}
+	}
+
+	// Across the rounding boundary (request 5 -> cap 8): exactly Cap()
+	// newest events survive, oldest-first, and drops count the excess.
+	r := NewRing(5)
+	for i := 0; i < 11; i++ {
+		r.Push(Event{Cycle: int64(i)})
+	}
+	if r.Len() != 8 || r.Dropped() != 3 {
+		t.Fatalf("len/dropped = %d/%d, want 8/3", r.Len(), r.Dropped())
+	}
+	for i, e := range r.Snapshot() {
+		if want := int64(i + 3); e.Cycle != want {
+			t.Errorf("snapshot[%d].Cycle = %d, want %d", i, e.Cycle, want)
+		}
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"tdmnoc/internal/topology"
 )
 
 // TraceMeta labels the exported trace. Width/Height give the mesh shape
@@ -56,13 +58,110 @@ func isCounter(k Kind) bool {
 	return false
 }
 
-// WriteTrace streams the ring's events as Chrome trace-event JSON
-// (loadable by Perfetto and chrome://tracing). One thread per router and
-// per NI, timestamps in microseconds with 1 cycle = 1 us, pipeline and
-// protocol events as 1-cycle "X" slices, sampled gauges as "C" counters,
-// and a packet's head flit linked across hops with "s"/"t"/"f" flow
-// events keyed by packet id.
+// mergeClass orders event kinds within one cycle the way the serial
+// simulator emits them: window-boundary gauges and manager decisions
+// (stamped with the post-step cycle, emitted before that cycle's ticks)
+// sort first, compute-phase pipeline/protocol events second, and
+// transfer-phase link traversals last.
+func mergeClass(k Kind) int {
+	switch k {
+	case KindQueueDepth, KindVCOccupancy, KindSlotOccupancy, KindEnergySample, KindSlotResize:
+		return 0
+	case KindLinkTraverse:
+		return 2
+	}
+	return 1
+}
+
+// mergeEmitter resolves the tile whose tick emitted e — the tiebreak
+// within a (cycle, class) group. Compute-phase events carry the emitting
+// tile in Node. A transfer-phase link traversal is emitted by the
+// DOWNSTREAM router's tick but describes the upstream sender (Node = the
+// sender, A = its output port), so the emitter is the neighbor across
+// that port; a Local-port traversal is the NI ejecting to itself.
+func mergeEmitter(e Event, mesh topology.Mesh) int32 {
+	switch mergeClass(e.Kind) {
+	case 0:
+		return -1 // control shard only; stable sort keeps emission order
+	case 2:
+		p := topology.Port(e.A)
+		if p == topology.Local {
+			return e.Node
+		}
+		if nb, ok := mesh.Neighbor(topology.NodeID(e.Node), p); ok {
+			return int32(nb)
+		}
+		return e.Node
+	}
+	return e.Node
+}
+
+// MergeRings concatenates the shard rings and stable-sorts by
+// (cycle, mergeClass, emitting tile). Each tile is owned by exactly one
+// worker and the control events live only in shard 0, so events with
+// equal keys always come from the same shard and the stable sort
+// preserves their true emission order: the merged timeline is
+// byte-identical to what a single-shard serial run records, regardless
+// of worker count. Allocates; export path only.
+func MergeRings(rings []*Ring, width, height int) []Event {
+	total := 0
+	for _, r := range rings {
+		total += r.Len()
+	}
+	events := make([]Event, 0, total)
+	for _, r := range rings {
+		events = r.AppendTo(events)
+	}
+	mesh := topology.NewMesh(width, height)
+	type key struct {
+		cycle   int64
+		class   int32
+		emitter int32
+	}
+	keys := make([]key, len(events))
+	for i, e := range events {
+		keys[i] = key{e.Cycle, int32(mergeClass(e.Kind)), mergeEmitter(e, mesh)}
+	}
+	idx := make([]int, len(events))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		if ka.cycle != kb.cycle {
+			return ka.cycle < kb.cycle
+		}
+		if ka.class != kb.class {
+			return ka.class < kb.class
+		}
+		return ka.emitter < kb.emitter
+	})
+	out := make([]Event, len(events))
+	for i, j := range idx {
+		out[i] = events[j]
+	}
+	return out
+}
+
+// WriteTrace streams the ring's events as Chrome trace-event JSON.
+// Single-ring convenience wrapper over WriteTraceEvents.
 func WriteTrace(w io.Writer, ring *Ring, meta TraceMeta) error {
+	return WriteTraceEvents(w, ring.Snapshot(), meta)
+}
+
+// WriteTraceEvents streams events (already in timeline order — a ring
+// snapshot or a MergeRings result) as Chrome trace-event JSON (loadable
+// by Perfetto and chrome://tracing). One thread per router and per NI,
+// timestamps in microseconds with 1 cycle = 1 us, pipeline and protocol
+// events as 1-cycle "X" slices, sampled gauges as "C" counters, and a
+// packet's head flit linked across hops with "s"/"t"/"f" flow events
+// keyed by packet id.
+//
+// Flow stitching is all-or-nothing per packet: a packet whose first
+// recorded head-flit sighting is not its injection (the ring dropped the
+// first hop) gets no flow events at all — a flow beginning mid-route
+// with no begin anchor renders as a dangling arrow in Perfetto.
+func WriteTraceEvents(w io.Writer, events []Event, meta TraceMeta) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	first := true
 	sep := func() string {
@@ -90,13 +189,31 @@ func WriteTrace(w io.Writer, ring *Ring, meta TraceMeta) error {
 	fmt.Fprintf(bw, `%s{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"global"}}`,
 		sep(), pidRouters, globalTID)
 
+	// Pre-pass: a packet participates in flow stitching only if its first
+	// flow-relevant sighting is the injection itself. Otherwise the ring
+	// dropped the packet's first hop and stitching it would start the
+	// flow mid-route — skip the whole flow atomically instead.
+	flowOK := make(map[uint64]bool)
+	for _, e := range events {
+		if e.Pkt == 0 {
+			continue
+		}
+		headHop := (e.Kind == KindLinkTraverse || e.Kind == KindInject) && e.Seq == 0
+		if !headHop && e.Kind != KindEject {
+			continue
+		}
+		if _, seen := flowOK[e.Pkt]; !seen {
+			flowOK[e.Pkt] = e.Kind == KindInject
+		}
+	}
+
 	// flowState: 0 = unseen, 1 = started, 2 = finished.
 	flowState := make(map[uint64]uint8)
 
 	var werr error
-	ring.Do(func(e Event) {
+	for _, e := range events {
 		if werr != nil {
-			return
+			break
 		}
 		pid := eventPID(e.Kind)
 		tid := int64(e.Node)
@@ -106,30 +223,26 @@ func WriteTrace(w io.Writer, ring *Ring, meta TraceMeta) error {
 		if isCounter(e.Kind) {
 			_, werr = fmt.Fprintf(bw, `%s{"ph":"C","pid":%d,"tid":%d,"ts":%d,"name":"%s","cat":"%s","args":{"v":%d}}`,
 				sep(), pid, tid, e.Cycle, e.Kind, eventCat(e.Kind), e.Val)
-			return
+			continue
 		}
 		_, werr = fmt.Fprintf(bw, `%s{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":1,"name":"%s","cat":"%s","args":{"pkt":%d,"seq":%d,"slot":%d,"val":%d,"a":%d,"b":%d}}`,
 			sep(), pid, tid, e.Cycle, e.Kind, eventCat(e.Kind), e.Pkt, e.Seq, e.Slot, e.Val, e.A, e.B)
 		if werr != nil {
-			return
+			break
 		}
-		// Flow events tie a packet's head flit together across hops. The
-		// ring may have dropped a packet's first hop, so the first sighting
-		// of an id starts its flow regardless of where it occurs; ejection
-		// finishes it and later sightings of a finished id are ignored.
-		if e.Pkt == 0 {
-			return
+		// Flow events tie a packet's head flit together across hops:
+		// injection starts the flow, link traversals step it, ejection
+		// finishes it; later sightings of a finished id are ignored.
+		if e.Pkt == 0 || !flowOK[e.Pkt] {
+			continue
 		}
 		headHop := (e.Kind == KindLinkTraverse || e.Kind == KindInject) && e.Seq == 0
 		eject := e.Kind == KindEject
 		if !headHop && !eject {
-			return
+			continue
 		}
 		switch flowState[e.Pkt] {
 		case 0:
-			if eject {
-				return // never saw the packet in flight; no flow to finish
-			}
 			flowState[e.Pkt] = 1
 			_, werr = fmt.Fprintf(bw, `%s{"ph":"s","pid":%d,"tid":%d,"ts":%d,"name":"pkt","cat":"flow","id":"0x%x"}`,
 				sep(), pid, tid, e.Cycle, e.Pkt)
@@ -146,7 +259,7 @@ func WriteTrace(w io.Writer, ring *Ring, meta TraceMeta) error {
 			_, werr = fmt.Fprintf(bw, `%s{"ph":"%s","pid":%d,"tid":%d,"ts":%d,"name":"pkt","cat":"flow","id":"0x%x"%s}`,
 				sep(), ph, pid, tid, e.Cycle, e.Pkt, bp)
 		}
-	})
+	}
 	if werr != nil {
 		return werr
 	}

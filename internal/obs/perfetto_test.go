@@ -119,15 +119,19 @@ func TestWriteTraceFormat(t *testing.T) {
 }
 
 // TestWriteTraceFlowPairing: no duplicate starts, no continue/finish
-// before a start, ejects of unseen packets emit no flow at all.
+// before a start, and packets whose first sighting is not their
+// injection (ring truncation) get no flow events at all.
 func TestWriteTraceFlowPairing(t *testing.T) {
 	events := []Event{
 		{Kind: KindEject, Cycle: 1, Node: 0, Pkt: 99},               // unseen: no flow
-		{Kind: KindLinkTraverse, Cycle: 2, Node: 0, Pkt: 5},         // starts mid-route
-		{Kind: KindLinkTraverse, Cycle: 3, Node: 1, Pkt: 5},         // continues
-		{Kind: KindEject, Cycle: 4, Node: 1, Pkt: 5},                // finishes
-		{Kind: KindLinkTraverse, Cycle: 5, Node: 2, Pkt: 5},         // after finish: ignored
+		{Kind: KindLinkTraverse, Cycle: 2, Node: 0, Pkt: 5},         // truncated: inject dropped
+		{Kind: KindLinkTraverse, Cycle: 3, Node: 1, Pkt: 5},         // still no flow
+		{Kind: KindEject, Cycle: 4, Node: 1, Pkt: 5},                // still no flow
 		{Kind: KindLinkTraverse, Cycle: 6, Node: 0, Pkt: 6, Seq: 1}, // body flit: no flow
+		{Kind: KindInject, Cycle: 7, Node: 2, Pkt: 8},               // complete packet: flows
+		{Kind: KindLinkTraverse, Cycle: 8, Node: 2, Pkt: 8},
+		{Kind: KindEject, Cycle: 9, Node: 3, Pkt: 8},
+		{Kind: KindLinkTraverse, Cycle: 10, Node: 1, Pkt: 8}, // after finish: ignored
 	}
 	tf, _ := writeTestTrace(t, events)
 
@@ -150,8 +154,66 @@ func TestWriteTraceFlowPairing(t *testing.T) {
 			state[e.ID] = 2
 		}
 	}
-	if len(state) != 1 || state["0x5"] != 2 {
-		t.Errorf("flow states = %v, want only 0x5 finished", state)
+	if len(state) != 1 || state["0x8"] != 2 {
+		t.Errorf("flow states = %v, want only 0x8 finished", state)
+	}
+}
+
+// TestWriteTraceTruncatedFlowsSkippedAtomically is the regression test
+// for the dangling-flow exporter bug: with a deliberately undersized
+// ring that drops a packet's injection and first hops, the exporter must
+// not stitch the surviving tail into a flow that begins mid-route —
+// the packet's flow events are skipped as a unit, while a packet whose
+// full trajectory survived still gets a complete s/t/f chain.
+func TestWriteTraceTruncatedFlowsSkippedAtomically(t *testing.T) {
+	var events []Event
+	// Packet 1: full trajectory, emitted late enough to survive the ring.
+	// Packet 2: its inject and first hop are emitted first, so the
+	// undersized ring evicts exactly those.
+	events = append(events,
+		Event{Kind: KindInject, Cycle: 1, Node: 0, Pkt: 2},
+		Event{Kind: KindLinkTraverse, Cycle: 2, Node: 0, A: 2, Pkt: 2},
+	)
+	for i := 0; i < 6; i++ { // filler slices to force the wrap
+		events = append(events, Event{Kind: KindSwitchTraverse, Cycle: int64(3 + i), Node: 1, Pkt: 0})
+	}
+	events = append(events,
+		Event{Kind: KindLinkTraverse, Cycle: 10, Node: 1, A: 2, Pkt: 2}, // survives, but truncated
+		Event{Kind: KindInject, Cycle: 11, Node: 2, Pkt: 1},
+		Event{Kind: KindLinkTraverse, Cycle: 12, Node: 2, A: 1, Pkt: 1},
+		Event{Kind: KindEject, Cycle: 13, Node: 0, Pkt: 1},
+		Event{Kind: KindEject, Cycle: 14, Node: 3, Pkt: 2}, // truncated tail
+	)
+
+	ring := NewRing(8) // undersized on purpose: 13 pushes, 5 drops
+	for _, e := range events {
+		ring.Push(e)
+	}
+	if ring.Dropped() == 0 {
+		t.Fatal("test setup broken: ring did not drop")
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ring, TraceMeta{Width: 2, Height: 2}); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	flows := map[string][]string{}
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "s", "t", "f":
+			flows[e.ID] = append(flows[e.ID], e.Ph)
+		}
+	}
+	if _, ok := flows["0x2"]; ok {
+		t.Errorf("truncated packet 0x2 got flow events %v, want none", flows["0x2"])
+	}
+	got := flows["0x1"]
+	if len(got) == 0 || got[0] != "s" || got[len(got)-1] != "f" {
+		t.Errorf("intact packet 0x1 flow chain = %v, want s...f", got)
 	}
 }
 

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"fmt"
+
 	"tdmnoc/internal/topology"
 )
 
@@ -33,6 +35,15 @@ func (h *Histogram) Observe(v int64) {
 	h.Total++
 }
 
+// merge adds o's observations into h.
+func (h *Histogram) merge(o *Histogram) {
+	for i := range h.Counts {
+		h.Counts[i] += o.Counts[i]
+	}
+	h.Sum += o.Sum
+	h.Total += o.Total
+}
+
 // Sample is one closed telemetry window. Flit/steal/setup fields count
 // occurrences within the window; the occupancy and queue fields are
 // gauges captured at the window boundary; EnergyMilliPJ is the dynamic
@@ -54,19 +65,23 @@ type Sample struct {
 // It is a pure function of the simulation, so campaign records that
 // embed it stay byte-identical between serial and parallel store runs.
 type Summary struct {
-	Cycles       int64     `json:"cycles"`
-	Events       uint64    `json:"events"`
-	RingDrops    uint64    `json:"ring_drops"`
-	Injected     int64     `json:"injected"`
-	Ejected      int64     `json:"ejected"`
-	CSFlits      int64     `json:"cs_flits"`
-	PSFlits      int64     `json:"ps_flits"`
-	Steals       int64     `json:"steals"`
-	SetupsOK     int64     `json:"setups_ok"`
-	SetupsFailed int64     `json:"setups_failed"`
-	SetupLatency Histogram `json:"setup_latency"`
-	BucketLE     []int64   `json:"bucket_le"`
-	Samples      []Sample  `json:"samples,omitempty"`
+	Cycles    int64  `json:"cycles"`
+	Events    uint64 `json:"events"`
+	RingDrops uint64 `json:"ring_drops"`
+	// DroppedWindows counts telemetry windows evicted from the bounded
+	// sample buffer (oldest first). A nonzero value means Samples starts
+	// DroppedWindows*SampleEvery cycles into the run, not at its head.
+	DroppedWindows uint64    `json:"dropped_windows"`
+	Injected       int64     `json:"injected"`
+	Ejected        int64     `json:"ejected"`
+	CSFlits        int64     `json:"cs_flits"`
+	PSFlits        int64     `json:"ps_flits"`
+	Steals         int64     `json:"steals"`
+	SetupsOK       int64     `json:"setups_ok"`
+	SetupsFailed   int64     `json:"setups_failed"`
+	SetupLatency   Histogram `json:"setup_latency"`
+	BucketLE       []int64   `json:"bucket_le"`
+	Samples        []Sample  `json:"samples,omitempty"`
 }
 
 // RecorderConfig sizes a Recorder. The zero value of every field picks
@@ -74,50 +89,55 @@ type Summary struct {
 type RecorderConfig struct {
 	// Nodes is the number of routers/NIs (width * height).
 	Nodes int
-	// RingCapacity bounds the event timeline (default 1 << 16).
+	// RingCapacity bounds each shard's event timeline, rounded up to a
+	// power of two (default 1 << 16). With S shards the recorder retains
+	// up to S * RingCapacity events.
 	RingCapacity int
 	// SampleEvery closes a telemetry window every K cycles; 0 disables
-	// time-series collection (the event ring still fills).
+	// time-series collection (the event rings still fill).
 	SampleEvery int
 	// MaxSamples bounds the retained windows, oldest dropped (default 4096).
 	MaxSamples int
+	// Shards is the number of worker shards (default 1). Size it to the
+	// executor's worker count; shard 0 doubles as the control shard for
+	// between-cycle emissions.
+	Shards int
+	// KindMask selects which event kinds are recorded; 0 means all.
+	// Masked kinds cost one branch at the emit site and update neither
+	// aggregates nor rings.
+	KindMask uint32
+	// RingSample decimates the event timeline: each tile handle pushes
+	// only every RingSample-th unmasked event to its ring (<= 1 records
+	// everything). Aggregate counters stay exact, and the control handle
+	// is exempt so sampled gauges survive. Per-tile counters keep the
+	// sampled timeline identical across worker counts.
+	RingSample int
 }
 
-// Recorder is the standard Probe: it owns the event ring, the running
-// totals, the setup-latency histogram, and the bounded time-series
-// sample buffer. Everything is preallocated in NewRecorder; Emit and
-// Sync never allocate.
+// Recorder owns per-worker shards (event ring + counters each), the
+// setup-latency histogram, and the bounded time-series sample buffer.
+// Everything is preallocated in NewRecorder; Handle.Emit and Sync never
+// allocate. During a cycle each executor worker writes only its own
+// shard; between cycles the caller goroutine (which the executor's
+// barriers synchronize with) runs Sync and the control-handle emissions.
 type Recorder struct {
-	ring  *Ring
-	nodes int
-	every int64
+	shards []*Shard
+	nodes  int
+	every  int64
 
-	events uint64
+	mask       uint32
+	ringSample int
+
+	control Handle
+
 	cycles int64
 
-	// linkFlits accumulates per-(node, output port) link traversals for
-	// the utilization heatmaps, indexed node*NumPorts + port.
-	linkFlits []int64
+	lastEnergy int64
 
-	injected, ejected    int64
-	csFlits, psFlits     int64
-	steals               int64
-	setupsOK, setupsFail int64
-	setupLatency         Histogram
-
-	// win* are the counters of the currently open telemetry window.
-	winCS, winPS, winSteals  int64
-	winSetupOK, winSetupFail int64
-	// winBuffered/Reserved/Queued/Energy accumulate the gauge emissions
-	// of the current sampling round (the network emits them just before
-	// the Sync that closes the window).
-	winBuffered, winReserved, winQueued int64
-	winEnergy                           int64
-	lastEnergy                          int64
-
-	samples  []Sample
-	sampHead int
-	sampN    int
+	samples        []Sample
+	sampHead       int
+	sampN          int
+	droppedWindows uint64
 }
 
 // NewRecorder builds a Recorder, performing all allocation up front.
@@ -131,123 +151,162 @@ func NewRecorder(cfg RecorderConfig) *Recorder {
 	if cfg.MaxSamples <= 0 {
 		cfg.MaxSamples = 4096
 	}
-	return &Recorder{
-		ring:      NewRing(cfg.RingCapacity),
-		nodes:     cfg.Nodes,
-		every:     int64(cfg.SampleEvery),
-		linkFlits: make([]int64, cfg.Nodes*int(topology.NumPorts)),
-		samples:   make([]Sample, cfg.MaxSamples),
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
 	}
+	if cfg.KindMask == 0 {
+		cfg.KindMask = KindMaskAll
+	}
+	if cfg.RingSample < 1 {
+		cfg.RingSample = 1
+	}
+	r := &Recorder{
+		shards:     make([]*Shard, cfg.Shards),
+		nodes:      cfg.Nodes,
+		every:      int64(cfg.SampleEvery),
+		mask:       cfg.KindMask,
+		ringSample: cfg.RingSample,
+		samples:    make([]Sample, cfg.MaxSamples),
+	}
+	for i := range r.shards {
+		r.shards[i] = &Shard{
+			ring:      NewRing(cfg.RingCapacity),
+			linkFlits: make([]int64, cfg.Nodes*int(topology.NumPorts)),
+		}
+	}
+	// The control handle never samples: between-cycle gauges and energy
+	// meters are already decimated by the network's sample interval, and
+	// dropping some would corrupt the windowed deltas.
+	r.control = Handle{s: r.shards[0], mask: cfg.KindMask}
+	return r
 }
 
-// Emit implements Probe. It updates the running aggregates and stores
-// the event in the ring, all without allocating.
-func (r *Recorder) Emit(e Event) {
-	r.events++
-	switch e.Kind {
-	case KindInject:
-		r.injected++
-	case KindEject:
-		r.ejected++
-	case KindLinkTraverse:
-		if i := int(e.Node)*int(topology.NumPorts) + int(e.A); i >= 0 && i < len(r.linkFlits) {
-			r.linkFlits[i]++
-		}
-		if e.B != 0 {
-			r.csFlits++
-			r.winCS++
-		} else {
-			r.psFlits++
-			r.winPS++
-		}
-	case KindSlotSteal:
-		r.steals++
-		r.winSteals++
-	case KindSetupLatency:
-		if e.B != 0 {
-			r.setupsOK++
-			r.winSetupOK++
-			r.setupLatency.Observe(e.Val)
-		} else {
-			r.setupsFail++
-			r.winSetupFail++
-		}
-	case KindVCOccupancy:
-		r.winBuffered += e.Val
-	case KindSlotOccupancy:
-		r.winReserved += e.Val
-	case KindQueueDepth:
-		r.winQueued += e.Val
-	case KindEnergySample:
-		r.winEnergy += e.Val
+// Handle returns a fresh per-emitter handle bound to the given worker's
+// shard. Every emitter (router/NI tile) must get its own handle — the
+// ring-sampling counter is per-handle, and per-tile counters are what
+// keep a sampled timeline independent of the worker count. Allocates;
+// call during attach, not during cycles.
+func (r *Recorder) Handle(worker int) *Handle {
+	if worker < 0 || worker >= len(r.shards) {
+		panic(fmt.Sprintf("obs: handle for worker %d of %d shards", worker, len(r.shards)))
 	}
-	r.ring.Push(e)
+	return &Handle{s: r.shards[worker], mask: r.mask, every: uint32(r.ringSample)}
 }
 
-// Sync implements Probe. At every SampleEvery-th cycle it closes the
-// open telemetry window into the sample buffer.
+// ControlHandle returns the shared control handle on shard 0, for
+// between-cycle emissions from the caller goroutine (sampled gauges,
+// energy meters, slot resizes). It is exempt from ring sampling.
+func (r *Recorder) ControlHandle() *Handle { return &r.control }
+
+// Shards returns the number of worker shards.
+func (r *Recorder) Shards() int { return len(r.shards) }
+
+// Rings returns every shard's ring, indexed by worker. For export: feed
+// them to MergeRings for the deterministic cross-shard timeline.
+func (r *Recorder) Rings() []*Ring {
+	out := make([]*Ring, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = s.ring
+	}
+	return out
+}
+
+// Ring exposes shard 0's event ring. With a single shard (serial runs)
+// this is the complete timeline, matching the recorder's pre-sharding
+// behaviour; multi-shard callers want Rings + MergeRings instead.
+func (r *Recorder) Ring() *Ring { return r.shards[0].ring }
+
+// Emit records one event through the control handle. Compatibility path
+// for single-goroutine users (tests, trace replay); simulation emit
+// sites hold their own per-tile handles.
+func (r *Recorder) Emit(e Event) { r.control.Emit(e) }
+
+// Sync must be called once between cycles (after the transfer phase and
+// the network managers) with the post-step cycle number; the executor's
+// barriers order the workers' shard writes before it. At every
+// SampleEvery-th cycle it folds all shards' open window counters into
+// one closed telemetry window. It never allocates.
 func (r *Recorder) Sync(now int64) {
 	r.cycles = now
 	if r.every <= 0 || now == 0 || now%r.every != 0 {
 		return
 	}
+	s := Sample{Cycle: now}
+	var energy int64
+	for _, sh := range r.shards {
+		sh.takeWindow(&s)
+		energy += sh.winEnergy
+		sh.winEnergy = 0
+	}
 	// Energy emissions carry cumulative meter readings; a window with no
 	// emission (sampling disabled or misaligned) reports zero rather than
 	// a bogus negative delta.
-	var energyDelta int64
-	if r.winEnergy != 0 {
-		energyDelta = r.winEnergy - r.lastEnergy
-		r.lastEnergy = r.winEnergy
+	if energy != 0 {
+		s.EnergyMilliPJ = energy - r.lastEnergy
+		r.lastEnergy = energy
 	}
-	s := Sample{
-		Cycle:         now,
-		CSFlits:       r.winCS,
-		PSFlits:       r.winPS,
-		Steals:        r.winSteals,
-		SetupsOK:      r.winSetupOK,
-		SetupsFailed:  r.winSetupFail,
-		BufferedFlits: r.winBuffered,
-		ReservedSlots: r.winReserved,
-		NIQueued:      r.winQueued,
-		EnergyMilliPJ: energyDelta,
-	}
-	r.winCS, r.winPS, r.winSteals = 0, 0, 0
-	r.winSetupOK, r.winSetupFail = 0, 0
-	r.winBuffered, r.winReserved, r.winQueued = 0, 0, 0
-	r.winEnergy = 0
 	if r.sampN < len(r.samples) {
 		r.samples[(r.sampHead+r.sampN)%len(r.samples)] = s
 		r.sampN++
 	} else {
 		r.samples[r.sampHead] = s
 		r.sampHead = (r.sampHead + 1) % len(r.samples)
+		r.droppedWindows++
 	}
 }
 
-// Ring exposes the event timeline for export.
-func (r *Recorder) Ring() *Ring { return r.ring }
+// Events returns the total number of recorded events across all shards
+// (including any that have since been dropped from the rings).
+func (r *Recorder) Events() uint64 {
+	var n uint64
+	for _, s := range r.shards {
+		n += s.events
+	}
+	return n
+}
 
-// Events returns the total number of events emitted (including any that
-// have since been dropped from the ring).
-func (r *Recorder) Events() uint64 { return r.events }
+// Dropped returns the summed ring drop counters.
+func (r *Recorder) Dropped() uint64 {
+	var n uint64
+	for _, s := range r.shards {
+		n += s.ring.Dropped()
+	}
+	return n
+}
 
-// Dropped returns the ring's drop counter.
-func (r *Recorder) Dropped() uint64 { return r.ring.Dropped() }
+// DroppedWindows returns how many telemetry windows were evicted from
+// the bounded sample buffer.
+func (r *Recorder) DroppedWindows() uint64 { return r.droppedWindows }
 
 // LinkFlits returns the cumulative flits sent by node through port.
 func (r *Recorder) LinkFlits(node int, port topology.Port) int64 {
 	i := node*int(topology.NumPorts) + int(port)
-	if i < 0 || i >= len(r.linkFlits) {
-		return 0
+	var n int64
+	for _, s := range r.shards {
+		if i >= 0 && i < len(s.linkFlits) {
+			n += s.linkFlits[i]
+		}
 	}
-	return r.linkFlits[i]
+	return n
 }
 
 // Steals returns the cumulative slot-steal count.
-func (r *Recorder) Steals() int64 { return r.steals }
+func (r *Recorder) Steals() int64 {
+	var n int64
+	for _, s := range r.shards {
+		n += s.steals
+	}
+	return n
+}
 
-// SetupLatency returns a copy of the setup-latency histogram.
-func (r *Recorder) SetupLatency() Histogram { return r.setupLatency }
+// SetupLatency returns the merged setup-latency histogram.
+func (r *Recorder) SetupLatency() Histogram {
+	var h Histogram
+	for _, s := range r.shards {
+		h.merge(&s.setupLatency)
+	}
+	return h
+}
 
 // Samples returns the retained telemetry windows, oldest first.
 func (r *Recorder) Samples() []Sample {
@@ -258,23 +317,29 @@ func (r *Recorder) Samples() []Sample {
 	return out
 }
 
-// Summary assembles the deterministic JSON digest.
+// Summary assembles the deterministic JSON digest. All per-shard totals
+// are summed; because each tile writes exactly one shard, the sums equal
+// what a single-shard recorder would have counted.
 func (r *Recorder) Summary() *Summary {
 	le := make([]int64, len(LatencyBuckets))
 	copy(le, LatencyBuckets[:])
-	return &Summary{
-		Cycles:       r.cycles,
-		Events:       r.events,
-		RingDrops:    r.ring.Dropped(),
-		Injected:     r.injected,
-		Ejected:      r.ejected,
-		CSFlits:      r.csFlits,
-		PSFlits:      r.psFlits,
-		Steals:       r.steals,
-		SetupsOK:     r.setupsOK,
-		SetupsFailed: r.setupsFail,
-		SetupLatency: r.setupLatency,
-		BucketLE:     le,
-		Samples:      r.Samples(),
+	sum := &Summary{
+		Cycles:         r.cycles,
+		DroppedWindows: r.droppedWindows,
+		SetupLatency:   r.SetupLatency(),
+		BucketLE:       le,
+		Samples:        r.Samples(),
 	}
+	for _, s := range r.shards {
+		sum.Events += s.events
+		sum.RingDrops += s.ring.Dropped()
+		sum.Injected += s.injected
+		sum.Ejected += s.ejected
+		sum.CSFlits += s.csFlits
+		sum.PSFlits += s.psFlits
+		sum.Steals += s.steals
+		sum.SetupsOK += s.setupsOK
+		sum.SetupsFailed += s.setupsFail
+	}
+	return sum
 }

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"tdmnoc/internal/topology"
+)
+
+// KindMaskAll enables every event kind in a Handle's kind mask.
+const KindMaskAll uint32 = 1<<numKinds - 1
+
+// The kind mask is a uint32 bitmask indexed by Kind; this trips at
+// compile time if the taxonomy ever outgrows it.
+var _ [32 - int(numKinds)]struct{}
+
+// MaskOf builds a kind mask enabling exactly the given kinds.
+func MaskOf(kinds ...Kind) uint32 {
+	var m uint32
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+// ProfileFlows is the standard telemetry kind mask: every kind the
+// repo's own exporters consume — packet flow endpoints and link
+// traversals (Perfetto flow arrows, latency histograms, link-utilization
+// heatmaps), circuit setup/steal/resize events, and the sampled gauges
+// behind the time-series timelines and the energy model. It omits only
+// the per-flit micro pipeline-stage kinds (route compute, VC/switch
+// allocation, switch traverse, buffer write, crossbar bypass, credit
+// stalls, setup handshakes), which dominate a full-fidelity stream
+// (~60% of all events on the fig4 miniatures) but only matter when
+// stepping a single router's pipeline in the Perfetto UI. With the
+// per-emitter kind mask those skipped kinds cost one branch at the
+// emission site, which is what keeps this profile inside the bench's
+// traced-overhead budget.
+var ProfileFlows = MaskOf(KindInject, KindEject, KindLinkTraverse,
+	KindSlotSteal, KindSetupLatency, KindVCOccupancy, KindSlotOccupancy,
+	KindQueueDepth, KindEnergySample, KindSlotResize)
+
+// Shard is one worker's private slice of a Recorder: an event ring plus
+// the aggregate and per-window counters fed by that worker's tiles.
+// Exactly one executor worker writes a shard during a cycle, so nothing
+// here is atomic; the executor's phase barriers order those writes
+// before the caller's Sync/export reads. Shard 0 doubles as the control
+// shard — the caller goroutine's between-cycle emissions (sampled
+// gauges, energy meters, slot resizes) land there through the
+// Recorder's control handle.
+type Shard struct {
+	ring *Ring
+
+	events uint64
+
+	// linkFlits accumulates per-(node, output port) link traversals for
+	// the utilization heatmaps, indexed node*NumPorts + port. Each tile
+	// writes only its own rows, so summing shards at export is exact.
+	linkFlits []int64
+
+	injected, ejected    int64
+	csFlits, psFlits     int64
+	steals               int64
+	setupsOK, setupsFail int64
+	setupLatency         Histogram
+
+	// win* are this shard's contribution to the currently open telemetry
+	// window; Recorder.Sync folds and clears them when the window closes.
+	winCS, winPS, winSteals             int64
+	winSetupOK, winSetupFail            int64
+	winBuffered, winReserved, winQueued int64
+	winEnergy                           int64
+}
+
+// aggKinds marks the kinds aggregate keeps counters for. Emit skips the
+// aggregate call entirely for the rest (the per-flit pipeline kinds —
+// the majority of a full-fidelity stream), which only feed the ring.
+const aggKinds = 1<<KindInject | 1<<KindEject | 1<<KindLinkTraverse |
+	1<<KindSlotSteal | 1<<KindSetupLatency | 1<<KindVCOccupancy |
+	1<<KindSlotOccupancy | 1<<KindQueueDepth | 1<<KindEnergySample
+
+// aggregate updates the shard's running totals for e. Split from Emit so
+// the ring-sampling gate can decimate the timeline without touching the
+// exactness of the counters. Takes e by value: Event fills the amd64
+// register ABI exactly, and taking its address anywhere would spill it
+// to the stack on every emission.
+func (s *Shard) aggregate(e Event) {
+	switch e.Kind {
+	case KindInject:
+		s.injected++
+	case KindEject:
+		s.ejected++
+	case KindLinkTraverse:
+		if i := int(e.Node)*int(topology.NumPorts) + int(e.A); i >= 0 && i < len(s.linkFlits) {
+			s.linkFlits[i]++
+		}
+		if e.B != 0 {
+			s.csFlits++
+			s.winCS++
+		} else {
+			s.psFlits++
+			s.winPS++
+		}
+	case KindSlotSteal:
+		s.steals++
+		s.winSteals++
+	case KindSetupLatency:
+		if e.B != 0 {
+			s.setupsOK++
+			s.winSetupOK++
+			s.setupLatency.Observe(e.Val)
+		} else {
+			s.setupsFail++
+			s.winSetupFail++
+		}
+	case KindVCOccupancy:
+		s.winBuffered += e.Val
+	case KindSlotOccupancy:
+		s.winReserved += e.Val
+	case KindQueueDepth:
+		s.winQueued += e.Val
+	case KindEnergySample:
+		s.winEnergy += e.Val
+	}
+}
+
+// Handle is the per-emitter write path into a Recorder. It is a concrete
+// pointer — no interface dispatch on the cycle hot path — and it is
+// cheap enough to give every router/NI pair its own: a masked-out kind
+// costs exactly one branch.
+//
+// Each tile must own a distinct Handle (Recorder.Handle returns a fresh
+// one per call): the 1-in-N ring-sampling counter lives here, and a
+// per-tile counter sees the same deterministic emission subsequence no
+// matter how tiles are partitioned across workers — per-worker counters
+// would make the sampled timeline depend on the worker count.
+type Handle struct {
+	s    *Shard
+	mask uint32
+	// every/ctr implement 1-in-N ring sampling: aggregates stay exact,
+	// but only every N-th unmasked event of this handle reaches the ring.
+	// every <= 1 records everything.
+	every uint32
+	ctr   uint32
+}
+
+// Wants reports whether events of kind k would be recorded: the handle
+// is attached and k passes its kind mask. It is nil-safe and small
+// enough to inline, so emission sites guard with it directly —
+// `if probe.Wants(kind) { probe.Emit(...) }` — and a masked-out (or
+// untraced) kind costs one predictable branch instead of an Event
+// construction plus an out-of-line call that returns immediately.
+func (h *Handle) Wants(k Kind) bool {
+	return h != nil && h.mask&(1<<uint(k)) != 0
+}
+
+// Emit records one event. It never allocates. The ring store is written
+// out by hand rather than through Ring.Push: Emit runs ~70 times per
+// simulated cycle on the fig4 miniatures, and dropping the second call
+// plus its 40-byte argument copy is a measurable slice of the whole
+// traced overhead there.
+func (h *Handle) Emit(e Event) {
+	if h.mask&(1<<uint(e.Kind)) == 0 {
+		return
+	}
+	s := h.s
+	s.events++
+	if aggKinds&(1<<uint(e.Kind)) != 0 {
+		s.aggregate(e)
+	}
+	if h.every > 1 {
+		h.ctr++
+		if h.ctr < h.every {
+			return
+		}
+		h.ctr = 0
+	}
+	r := s.ring
+	r.buf[(r.head+r.n)&r.mask] = e
+	if r.n > r.mask {
+		r.head = (r.head + 1) & r.mask
+		r.dropped++
+		return
+	}
+	r.n++
+}
+
+// Shard exposes the shard this handle writes to (export/test plumbing).
+func (h *Handle) Shard() *Shard { return h.s }
+
+// Ring exposes the shard's event ring.
+func (s *Shard) Ring() *Ring { return s.ring }
+
+// takeWindow folds this shard's open-window counters into w and clears
+// them. Called by Recorder.Sync between cycles, after the phase barrier.
+func (s *Shard) takeWindow(w *Sample) {
+	w.CSFlits += s.winCS
+	w.PSFlits += s.winPS
+	w.Steals += s.winSteals
+	w.SetupsOK += s.winSetupOK
+	w.SetupsFailed += s.winSetupFail
+	w.BufferedFlits += s.winBuffered
+	w.ReservedSlots += s.winReserved
+	w.NIQueued += s.winQueued
+	// EnergyMilliPJ is handled by the Recorder (cumulative-meter delta).
+	s.winCS, s.winPS, s.winSteals = 0, 0, 0
+	s.winSetupOK, s.winSetupFail = 0, 0
+	s.winBuffered, s.winReserved, s.winQueued = 0, 0, 0
+}

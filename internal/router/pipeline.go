@@ -37,7 +37,7 @@ func (r *Router) acceptIncoming(now sim.Cycle) bool {
 		vc.push(f)
 		r.meter.BufWrites++
 		r.emit(Event{Cycle: int64(now), Kind: EvBufferWrite, In: p, PktID: f.Pkt.ID, Seq: f.Seq})
-		if r.probe != nil {
+		if r.probe.Wants(obs.KindBufferWrite) {
 			r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindBufferWrite,
 				Node: int32(r.id), A: uint8(p), Pkt: f.Pkt.ID, Seq: int32(f.Seq), Val: int64(f.VC)})
 		}
@@ -83,7 +83,7 @@ func (r *Router) acceptCS(now sim.Cycle, p topology.Port, f *flit.Flit) {
 		r.armLocalNI(now)
 	}
 	r.emit(Event{Cycle: int64(now), Kind: EvCSBypass, In: p, Out: out, PktID: f.Pkt.ID, Seq: f.Seq, Slot: r.tables.SlotOf(int64(now))})
-	if r.probe != nil {
+	if r.probe.Wants(obs.KindCSBypass) {
 		r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindCSBypass,
 			Node: int32(r.id), A: uint8(p), B: uint8(out), Pkt: f.Pkt.ID, Seq: int32(f.Seq),
 			Slot: int32(r.tables.SlotOf(int64(now)))})
@@ -126,7 +126,7 @@ func (r *Router) switchTraversal(now sim.Cycle) bool {
 		}
 		if ou.stReg != nil && ou.latch == nil {
 			r.emit(Event{Cycle: int64(now), Kind: EvPSTraverse, Out: o, PktID: ou.stReg.Pkt.ID, Seq: ou.stReg.Seq})
-			if r.probe != nil {
+			if r.probe.Wants(obs.KindSwitchTraverse) {
 				r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSwitchTraverse,
 					Node: int32(r.id), B: uint8(o), Pkt: ou.stReg.Pkt.ID, Seq: int32(ou.stReg.Seq)})
 			}
@@ -183,7 +183,7 @@ func (r *Router) routeCompute(now sim.Cycle) {
 				vc.route = r.dataRoute(f.Pkt)
 				vc.state = vcVCAlloc
 				vc.ready = now + 1
-				if r.probe != nil {
+				if r.probe.Wants(obs.KindRouteCompute) {
 					r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindRouteCompute,
 						Node: int32(r.id), A: uint8(p), B: uint8(vc.route), Pkt: f.Pkt.ID})
 				}
@@ -239,7 +239,7 @@ func (r *Router) processSetup(now sim.Cycle, p topology.Port, vc *inputVC, f *fl
 		r.tables.Reserve(p, out, cfgp.Slot, cfgp.Duration, int64(now))
 	if !ok {
 		r.emit(Event{Cycle: int64(now), Kind: EvSetupFail, In: p, Out: out, PktID: pkt.ID, Slot: cfgp.Slot})
-		if r.probe != nil {
+		if r.probe.Wants(obs.KindSetupFail) {
 			r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSetupFail,
 				Node: int32(r.id), A: uint8(p), B: uint8(out), Pkt: pkt.ID, Slot: int32(cfgp.Slot)})
 		}
@@ -247,7 +247,7 @@ func (r *Router) processSetup(now sim.Cycle, p topology.Port, vc *inputVC, f *fl
 		return
 	}
 	r.emit(Event{Cycle: int64(now), Kind: EvSetupReserve, In: p, Out: out, PktID: pkt.ID, Slot: cfgp.Slot})
-	if r.probe != nil {
+	if r.probe.Wants(obs.KindSetupReserve) {
 		r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSetupReserve,
 			Node: int32(r.id), A: uint8(p), B: uint8(out), Pkt: pkt.ID, Slot: int32(cfgp.Slot),
 			Val: int64(cfgp.Duration)})
@@ -295,7 +295,7 @@ func (r *Router) processTeardown(now sim.Cycle, p topology.Port, vc *inputVC) {
 			r.meter.SlotWrites += int64(cfgp.Duration)
 			out = o
 			r.emit(Event{Cycle: int64(now), Kind: EvTeardownRelease, In: p, Out: o, PktID: pkt.ID, Slot: cfgp.Slot})
-			if r.probe != nil {
+			if r.probe.Wants(obs.KindTeardownRelease) {
 				r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindTeardownRelease,
 					Node: int32(r.id), A: uint8(p), B: uint8(o), Pkt: pkt.ID, Slot: int32(cfgp.Slot),
 					Val: int64(cfgp.Duration)})
@@ -336,7 +336,7 @@ func (r *Router) convertToAck(now sim.Cycle, vc *inputVC, f *flit.Flit, ok bool)
 	pkt.Config.FailHop = pkt.Config.Hop
 	pkt.CreatedAt = int64(now)
 	pkt.InjectedAt = int64(now)
-	if r.probe != nil {
+	if r.probe.Wants(obs.KindSetupAck) {
 		var okb uint8
 		if ok {
 			okb = 1
@@ -418,7 +418,7 @@ func (r *Router) vcAllocate(now sim.Cycle) {
 			vc.outVC = got
 			vc.ready = now + 1
 			r.meter.VCArbs++
-			if r.probe != nil {
+			if r.probe.Wants(obs.KindVCAlloc) {
 				r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindVCAlloc,
 					Node: int32(r.id), A: uint8(p), B: uint8(o), Val: int64(got)})
 			}
@@ -518,7 +518,7 @@ func (r *Router) switchAllocate(now sim.Cycle) bool {
 					// Report the stall once per cycle (iteration 0), not once
 					// per iSLIP iteration, so stall counts are comparable
 					// across SAIterations settings.
-					if r.probe != nil && it == 0 {
+					if it == 0 && r.probe.Wants(obs.KindCreditStall) {
 						r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindCreditStall,
 							Node: int32(r.id), A: uint8(p), B: uint8(vc.outPort),
 							Pkt: vc.front().Pkt.ID, Val: int64(vc.outVC)})
@@ -564,7 +564,7 @@ func (r *Router) switchAllocate(now sim.Cycle) bool {
 				r.in[p].rrVC = (winnerVC[p] + 1) % r.cfg.VCs
 				f.VC = vc.outVC
 				ou.stReg = f
-				if r.probe != nil {
+				if r.probe.Wants(obs.KindSwitchAlloc) {
 					r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSwitchAlloc,
 						Node: int32(r.id), A: uint8(p), B: uint8(o), Pkt: f.Pkt.ID, Seq: int32(f.Seq)})
 				}
@@ -572,7 +572,7 @@ func (r *Router) switchAllocate(now sim.Cycle) bool {
 					if _, res := r.tables.OutReservedAt(int64(now+1), o); res {
 						r.StolenSlots++
 						r.emit(Event{Cycle: int64(now), Kind: EvSteal, In: p, Out: o, PktID: f.Pkt.ID, Seq: f.Seq})
-						if r.probe != nil {
+						if r.probe.Wants(obs.KindSlotSteal) {
 							r.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSlotSteal,
 								Node: int32(r.id), A: uint8(p), B: uint8(o), Pkt: f.Pkt.ID, Seq: int32(f.Seq),
 								Slot: int32(r.tables.SlotOf(int64(now + 1)))})

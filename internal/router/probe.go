@@ -5,12 +5,11 @@ import (
 )
 
 // SetProbe installs (or, with nil, removes) the router's observability
-// probe. The probe runs inside compute/transfer ticks: it must not touch
-// other simulation entities and is only supported with a serial executor
-// (Workers == 1) — the network enforces this in AttachProbe. Pass a nil
-// interface to detach; a typed-nil concrete value would defeat the
-// nil-check guards (see the obs package comment).
-func (r *Router) SetProbe(p obs.Probe) { r.probe = p }
+// handle. The handle runs inside compute/transfer ticks: it must not
+// touch other simulation entities, and under a parallel executor it must
+// be bound to the shard of the worker that owns this router's tile —
+// the network's AttachProbe wires that up.
+func (r *Router) SetProbe(h *obs.Handle) { r.probe = h }
 
 // BufferedFlits returns the number of flits currently held across all of
 // the router's input VC buffers — the per-router occupancy gauge sampled

@@ -105,10 +105,11 @@ type Router struct {
 
 	// events, when non-nil, receives debug trace events (serial runs only).
 	events EventSink
-	// probe, when non-nil, receives cycle-level observability events
-	// (serial runs only). Every emission site is guarded by a nil check so
-	// the disabled path costs one predictable branch and zero allocations.
-	probe obs.Probe
+	// probe, when non-nil, receives cycle-level observability events.
+	// Every emission site is guarded by a nil check so the disabled path
+	// costs one predictable branch and zero allocations; under a parallel
+	// executor the handle writes the owning worker's private shard.
+	probe *obs.Handle
 }
 
 // New creates a router for node id on mesh m. The caller wires neighbours
@@ -368,7 +369,7 @@ func (r *Router) transfer(now sim.Cycle) {
 		if f := up.out[upPort].latch; f != nil {
 			iu.linkReg = f
 			up.out[upPort].latch = nil
-			if r.probe != nil {
+			if r.probe.Wants(obs.KindLinkTraverse) {
 				// LT: the flit leaves the upstream router's output port.
 				// Each link has exactly one downstream owner, so attributing
 				// the event to the sender from here double-counts nothing.
