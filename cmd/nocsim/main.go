@@ -78,6 +78,31 @@ func validateObsFlags(traceOut string, telemetryEvery int, mode hsnoc.Mode, work
 	return nil
 }
 
+// validatePolicyFlags rejects incoherent profile/policy flag
+// combinations up front — a -policy without the profile it feeds on, or
+// a -profile-in that nothing consumes, would otherwise run a simulation
+// whose result silently ignores the flag.
+func validatePolicyFlags(policySpec, profileIn, profileOut string, adaptive int64, mode hsnoc.Mode, hetero bool) error {
+	if policySpec != "" && profileIn == "" {
+		return fmt.Errorf("nocsim: -policy %s needs -profile-in (offline mode re-runs a profiled workload; extract one with -profile-out first)", policySpec)
+	}
+	if profileIn != "" && policySpec == "" {
+		return fmt.Errorf("nocsim: -profile-in without -policy does nothing; pick a policy (static|threshold|greedy|sdm-gate)")
+	}
+	if profileIn != "" && profileOut != "" {
+		return fmt.Errorf("nocsim: -profile-in and -profile-out are mutually exclusive (a policy re-run profiles a different config)")
+	}
+	if profileOut != "" || profileIn != "" || adaptive > 0 {
+		if hetero {
+			return fmt.Errorf("nocsim: profile/policy flags are not supported with -hetero")
+		}
+	}
+	if profileOut != "" && mode == hsnoc.HybridSDM {
+		return fmt.Errorf("nocsim: -profile-out is not available for sdm mode")
+	}
+	return nil
+}
+
 func main() {
 	mode := flag.String("mode", "tdm", "switching mode: packet|tdm|sdm")
 	pattern := flag.String("pattern", "tornado", "traffic pattern: ur|tornado|transpose|bc|neighbor")
@@ -104,6 +129,11 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (Perfetto) JSON timeline to this file (serial packet/tdm runs only)")
 	telemetryEvery := flag.Int("telemetry-every", 0, "sample link/buffer/energy telemetry every N cycles and print time-series plots (serial packet/tdm runs only)")
 	configPath := flag.String("config", "", "load the network configuration from this JSON file (overrides structural flags)")
+	profileOut := flag.String("profile-out", "", "extract the run's traffic profile (per-flow volumes, link heat, slot state) to this JSON file (serial packet/tdm runs only)")
+	profileIn := flag.String("profile-in", "", "load a traffic profile extracted by -profile-out; requires -policy")
+	policySpec := flag.String("policy", "", "re-run the profiled workload under this policy's decision: static|threshold[:N]|greedy[:K]|sdm-gate[:P] (requires -profile-in)")
+	adaptive := flag.Int64("adaptive", 0, "enable the online controller: re-rank flows and re-pin circuits every N cycles (tdm)")
+	adaptiveTopK := flag.Int("adaptive-topk", 0, "flows the online controller pins per epoch (0 = default 8)")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -143,6 +173,10 @@ func main() {
 		cfg.CheckInvariants = true
 		cfg.CheckInterval = *checkEvery
 	}
+	if *adaptive > 0 || *adaptiveTopK > 0 {
+		cfg.AdaptiveEpoch = *adaptive
+		cfg.AdaptiveTopK = *adaptiveTopK
+	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -150,6 +184,40 @@ func main() {
 	if err := validateObsFlags(*traceOut, *telemetryEvery, cfg.Mode, cfg.Workers, *hetero); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if err := validatePolicyFlags(*policySpec, *profileIn, *profileOut, cfg.AdaptiveEpoch, cfg.Mode, *hetero); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *policySpec != "" {
+		pol, err := hsnoc.ParsePolicy(*policySpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		prof, err := hsnoc.ReadProfileFile(*profileIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if prof.ConfigHash != cfg.Hash() {
+			fmt.Fprintf(os.Stderr, "nocsim: profile %s was extracted from a different configuration (profile %.12s..., flags %.12s...); re-extract it with -profile-out under the same flags\n",
+				*profileIn, prof.ConfigHash, cfg.Hash())
+			os.Exit(2)
+		}
+		d := pol.Decide(prof)
+		cfg, err = hsnoc.ApplyDecision(cfg, d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		m = cfg.Mode
+		fmt.Printf("policy %s: %d pinned flows, restrict_setups=%v, slot_init=%d, use_sdm=%v, gated_planes=%d\n",
+			pol.Name(), len(d.PinnedFlows), d.RestrictSetups, d.SlotInit, d.UseSDM, d.GatedPlanes)
 	}
 
 	if *hetero {
@@ -164,9 +232,9 @@ func main() {
 	}
 	s := hsnoc.NewSynthetic(cfg, p, *rate)
 	defer s.Close()
-	wantTelemetry := *traceOut != "" || *telemetryEvery > 0
+	wantTelemetry := *traceOut != "" || *telemetryEvery > 0 || *profileOut != ""
 	if wantTelemetry || *heatmap {
-		opt := hsnoc.TelemetryOptions{Every: *telemetryEvery}
+		opt := hsnoc.TelemetryOptions{Every: *telemetryEvery, TrackFlows: *profileOut != ""}
 		if *traceOut != "" {
 			// Full-fidelity timelines need headroom; the default ring is
 			// sized for summaries.
@@ -216,6 +284,21 @@ func main() {
 	}
 	fmt.Printf("  energy                  %.2f uJ (dynamic %.2f, static %.2f)\n",
 		res.Energy.TotalPJ/1e6, sum(res.Energy.DynamicPJ)/1e6, sum(res.Energy.StaticPJ)/1e6)
+	if cfg.AdaptiveEpoch > 0 {
+		fmt.Printf("  adaptive controller     %d epoch re-pin(s) every %d cycles\n", s.AdaptiveRepins(), cfg.AdaptiveEpoch)
+	}
+	if *profileOut != "" {
+		prof, err := s.ExtractProfile()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := prof.WriteFile(*profileOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  profile                 %s (%d flows, config %.12s...)\n", *profileOut, len(prof.Flows), prof.ConfigHash)
+	}
 	if *check {
 		if n := s.InvariantViolationCount(); n > 0 {
 			fmt.Fprintf(os.Stderr, "nocsim: %d invariant violation(s):\n", n)

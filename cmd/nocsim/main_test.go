@@ -23,6 +23,46 @@ func TestParseMode(t *testing.T) {
 	}
 }
 
+func TestValidatePolicyFlags(t *testing.T) {
+	ok := []struct {
+		policy, in, out string
+		adaptive        int64
+		mode            hsnoc.Mode
+		hetero          bool
+	}{
+		{"", "", "", 0, hsnoc.HybridTDM, false},                  // no policy flags at all
+		{"", "", "prof.json", 0, hsnoc.HybridTDM, false},         // profile extraction
+		{"greedy", "prof.json", "", 0, hsnoc.HybridTDM, false},   // policy re-run
+		{"", "", "", 512, hsnoc.HybridTDM, false},                // online controller
+		{"", "", "", 0, hsnoc.HybridSDM, true},                   // hetero without policy flags
+		{"sdm-gate", "prof.json", "", 0, hsnoc.HybridTDM, false}, // cross-architecture re-run
+	}
+	for i, c := range ok {
+		if err := validatePolicyFlags(c.policy, c.in, c.out, c.adaptive, c.mode, c.hetero); err != nil {
+			t.Errorf("valid combination %d rejected: %v", i, err)
+		}
+	}
+	bad := []struct {
+		policy, in, out string
+		adaptive        int64
+		mode            hsnoc.Mode
+		hetero          bool
+	}{
+		{"greedy", "", "", 0, hsnoc.HybridTDM, false},                  // -policy without -profile-in
+		{"", "prof.json", "", 0, hsnoc.HybridTDM, false},               // -profile-in without -policy
+		{"greedy", "prof.json", "out.json", 0, hsnoc.HybridTDM, false}, // both profile flags
+		{"", "", "prof.json", 0, hsnoc.HybridTDM, true},                // profile with -hetero
+		{"greedy", "prof.json", "", 0, hsnoc.HybridTDM, true},          // policy with -hetero
+		{"", "", "", 512, hsnoc.HybridTDM, true},                       // adaptive with -hetero
+		{"", "", "prof.json", 0, hsnoc.HybridSDM, false},               // profile of sdm engine
+	}
+	for i, c := range bad {
+		if err := validatePolicyFlags(c.policy, c.in, c.out, c.adaptive, c.mode, c.hetero); err == nil {
+			t.Errorf("invalid combination %d accepted", i)
+		}
+	}
+}
+
 func TestParsePattern(t *testing.T) {
 	cases := map[string]hsnoc.Pattern{
 		"ur": hsnoc.UniformRandom, "uniform": hsnoc.UniformRandom,

@@ -61,8 +61,12 @@ type run struct {
 	doneCh chan struct{}
 
 	mu      sync.Mutex
-	State   string // running | done | cancelled
+	State   string // running | done | cancelled | failed
+	Err     string
 	records []campaign.Record
+	// policy is the profile→re-run comparison report of a policy_profile
+	// campaign (nil otherwise, and until the loop finishes).
+	policy *campaign.PolicyReport
 }
 
 // statusView is the JSON shape of GET /campaigns and /campaigns/{id}:
@@ -74,6 +78,7 @@ type statusView struct {
 	SpecHash  string          `json:"spec_hash"`
 	Jobs      int             `json:"jobs"`
 	State     string          `json:"state"`
+	Error     string          `json:"error,omitempty"`
 	Submitted time.Time       `json:"submitted"`
 	Spec      campaign.Spec   `json:"spec"`
 	Counters  campaign.Status `json:"counters"`
@@ -82,11 +87,11 @@ type statusView struct {
 // view snapshots the run's mutable state under its lock.
 func (c *run) view() statusView {
 	c.mu.Lock()
-	state := c.State
+	state, errMsg := c.State, c.Err
 	c.mu.Unlock()
 	return statusView{
 		ID: c.ID, Name: c.Name, SpecHash: c.SpecHash, Jobs: c.Jobs,
-		State: state, Submitted: c.Submitted, Spec: c.Spec,
+		State: state, Error: errMsg, Submitted: c.Submitted, Spec: c.Spec,
 		Counters: c.engine.Status(),
 	}
 }
@@ -103,6 +108,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /campaigns/{id}/summary", s.handleSummary)
 	mux.HandleFunc("GET /campaigns/{id}/timeline", s.handleTimeline)
+	mux.HandleFunc("GET /campaigns/{id}/policy", s.handlePolicy)
 	mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /buildinfo", s.handleBuildInfo)
@@ -171,6 +177,10 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer close(c.doneCh)
 		defer store.Close()
+		if spec.PolicyProfile != nil {
+			s.runPolicyCampaign(ctx, cancel, c, eng, spec)
+			return
+		}
 		recs := eng.Run(ctx, jobs)
 		cancel()
 		c.mu.Lock()
@@ -188,6 +198,34 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		"status_url":  "/campaigns/" + id,
 		"results_url": "/campaigns/" + id + "/results",
 	})
+}
+
+// runPolicyCampaign executes a policy_profile spec through the
+// profile→re-run loop. Extracted profiles persist next to the result
+// store, so a re-submitted comparison skips its phase-A simulations.
+func (s *server) runPolicyCampaign(ctx context.Context, cancel context.CancelFunc, c *run, eng *campaign.Engine, spec campaign.Spec) {
+	profs, err := campaign.OpenProfileStore(filepath.Join(s.dataDir, "spec-"+c.SpecHash[:16]+"-profiles.jsonl"))
+	if err != nil {
+		cancel()
+		c.mu.Lock()
+		c.State, c.Err = "failed", err.Error()
+		c.mu.Unlock()
+		return
+	}
+	defer profs.Close()
+	rep, err := campaign.RunPolicyLoop(ctx, eng, spec, profs)
+	cancel()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case err != nil && ctx.Err() != nil:
+		c.State = "cancelled"
+	case err != nil:
+		c.State, c.Err = "failed", err.Error()
+	default:
+		c.policy = rep
+		c.State = "done"
+	}
 }
 
 // anyCancelled reports whether any record was skipped or aborted —
@@ -334,6 +372,30 @@ func (s *server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rows)
 }
 
+// handlePolicy serves the profile→re-run comparison report of a
+// policy_profile campaign: one outcome per (job, policy) with the
+// energy/latency deltas against the static baseline. 409 until the
+// loop finishes; 404-shaped error for plain sweep campaigns.
+func (s *server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+		return
+	}
+	if c.Spec.PolicyProfile == nil {
+		writeError(w, http.StatusNotFound, "campaign %q is not a policy_profile campaign", c.ID)
+		return
+	}
+	c.mu.Lock()
+	rep, state := c.policy, c.State
+	c.mu.Unlock()
+	if rep == nil {
+		writeError(w, http.StatusConflict, "campaign %q has no policy report yet (state %s)", c.ID, state)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
 // handleBuildInfo reports how this binary was built (Go version, module
 // version, VCS revision and dirty flag) from the info the linker embeds
 // — the first thing to check when a deployed daemon misbehaves.
@@ -391,6 +453,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		telem.SlotSteals += tl.SlotSteals
 		telem.SetupCount += tl.SetupCount
 		telem.SetupSum += tl.SetupSum
+		telem.DroppedWindows += tl.DroppedWindows
+		telem.RingDrops += tl.RingDrops
+		for len(telem.RingDropsByShard) < len(tl.RingDropsByShard) {
+			telem.RingDropsByShard = append(telem.RingDropsByShard, 0)
+		}
+		for i, d := range tl.RingDropsByShard {
+			telem.RingDropsByShard[i] += d
+		}
 		if telem.BucketLE == nil {
 			telem.BucketLE = tl.BucketLE
 			telem.Buckets = make([]uint64, len(tl.Buckets))
@@ -426,6 +496,13 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP nocsimd_telemetry_jobs Jobs run with per-job observability attached.\n# TYPE nocsimd_telemetry_jobs counter\nnocsimd_telemetry_jobs %d\n", telem.Jobs)
 	fmt.Fprintf(w, "# HELP nocsimd_slot_steals_total Time-slot steals observed by telemetry jobs.\n# TYPE nocsimd_slot_steals_total counter\nnocsimd_slot_steals_total %d\n", telem.SlotSteals)
 	fmt.Fprintf(w, "# HELP nocsimd_telemetry_dropped_windows_total Telemetry windows evicted past MaxSamples (timelines truncated at the head).\n# TYPE nocsimd_telemetry_dropped_windows_total counter\nnocsimd_telemetry_dropped_windows_total %d\n", telem.DroppedWindows)
+	fmt.Fprintf(w, "# HELP nocsimd_telemetry_ring_drops_total Telemetry events dropped by full per-worker rings (sampled traces have gaps).\n# TYPE nocsimd_telemetry_ring_drops_total counter\nnocsimd_telemetry_ring_drops_total %d\n", telem.RingDrops)
+	if len(telem.RingDropsByShard) > 0 {
+		fmt.Fprintf(w, "# HELP nocsimd_telemetry_ring_drops Telemetry ring drops by worker shard.\n# TYPE nocsimd_telemetry_ring_drops counter\n")
+		for i, d := range telem.RingDropsByShard {
+			fmt.Fprintf(w, "nocsimd_telemetry_ring_drops{shard=\"%d\"} %d\n", i, d)
+		}
+	}
 	fmt.Fprintf(w, "# HELP nocsimd_setup_latency_cycles Circuit setup round-trip latency observed by telemetry jobs.\n# TYPE nocsimd_setup_latency_cycles histogram\n")
 	cum := uint64(0)
 	for i, le := range telem.BucketLE {

@@ -342,6 +342,15 @@ func TestServiceTelemetryCampaign(t *testing.T) {
 	if got := metric(t, ts, "nocsimd_telemetry_dropped_windows_total"); got != 0 {
 		t.Errorf("nocsimd_telemetry_dropped_windows_total = %d, want 0", got)
 	}
+	// The ring-drop counters appear once telemetry jobs have run: the
+	// total plus one labeled series per worker shard (this short,
+	// full-capacity campaign must drop nothing).
+	if got := metric(t, ts, "nocsimd_telemetry_ring_drops_total"); got != 0 {
+		t.Errorf("nocsimd_telemetry_ring_drops_total = %d, want 0", got)
+	}
+	if got := metric(t, ts, `nocsimd_telemetry_ring_drops{shard="0"}`); got != 0 {
+		t.Errorf(`ring_drops{shard="0"} = %d, want 0`, got)
+	}
 	if got := metric(t, ts, "nocsimd_jobs_inflight"); got != 0 {
 		t.Errorf("nocsimd_jobs_inflight = %d after completion, want 0", got)
 	}
@@ -353,5 +362,72 @@ func TestServiceTelemetryCampaign(t *testing.T) {
 	}
 	if inf := metric(t, ts, `nocsimd_setup_latency_cycles_bucket{le="+Inf"}`); inf != count {
 		t.Errorf("+Inf bucket %d != count %d", inf, count)
+	}
+}
+
+// TestServicePolicyCampaign: a policy_profile spec runs the offline
+// profile→re-run loop end to end and serves the comparison report on
+// /campaigns/{id}/policy; plain campaigns 404 on that endpoint.
+func TestServicePolicyCampaign(t *testing.T) {
+	s := newServer(t.TempDir(), 2, time.Minute)
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	spec := `{
+	  "modes": ["tdm"], "patterns": ["tornado"],
+	  "meshes": [{"width": 4, "height": 4}],
+	  "rates": [0.15], "seeds": [1],
+	  "warmup_cycles": 300, "measure_cycles": 1200,
+	  "policy_profile": {"policies": ["static", "greedy"]}
+	}`
+	sub := postSpec(t, ts, spec)
+	id := sub["id"].(string)
+	st := waitDone(t, ts, id)
+	if st.State != "done" {
+		t.Fatalf("policy campaign state %q (error %q)", st.State, st.Error)
+	}
+
+	var rep campaign.PolicyReport
+	getJSON(t, ts.URL+"/campaigns/"+id+"/policy", &rep)
+	if len(rep.Outcomes) != 2 {
+		t.Fatalf("policy outcomes = %d, want 2", len(rep.Outcomes))
+	}
+	for _, out := range rep.Outcomes {
+		if out.Err != "" {
+			t.Errorf("outcome %s/%s failed: %s", out.Label, out.Policy, out.Err)
+		}
+		if out.EnergyPerFlit <= 0 {
+			t.Errorf("outcome %s/%s has no energy metric: %+v", out.Label, out.Policy, out)
+		}
+	}
+	if rep.Outcomes[0].Policy != "static" || rep.Outcomes[0].EnergyDeltaPct != 0 {
+		t.Errorf("static baseline outcome = %+v", rep.Outcomes[0])
+	}
+	if rep.Outcomes[1].Policy != "greedy" || len(rep.Outcomes[1].Decision.PinnedFlows) == 0 {
+		t.Errorf("greedy outcome pinned nothing: %+v", rep.Outcomes[1])
+	}
+
+	// The base records persist in the ordinary result store too.
+	var recs []campaign.Record
+	getJSON(t, ts.URL+"/campaigns/"+id+"/results", &recs)
+	if len(recs) == 0 {
+		t.Error("policy campaign persisted no records")
+	}
+
+	// A plain campaign has no policy report.
+	plain := postSpec(t, ts, `{
+	  "modes": ["tdm"], "patterns": ["ur"],
+	  "meshes": [{"width": 4, "height": 4}],
+	  "rates": [0.05], "seeds": [1],
+	  "warmup_cycles": 100, "measure_cycles": 200
+	}`)
+	waitDone(t, ts, plain["id"].(string))
+	resp, err := http.Get(ts.URL + "/campaigns/" + plain["id"].(string) + "/policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("policy endpoint on plain campaign: status %d, want 404", resp.StatusCode)
 	}
 }

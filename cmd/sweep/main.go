@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"strings"
 	"time"
 
 	"tdmnoc/internal/campaign"
@@ -53,7 +54,34 @@ func main() {
 	plot := flag.Bool("plot", false, "render ASCII load-latency and energy charts after the CSV")
 	fleetURL := flag.String("fleet", "", "submit to this fleet coordinator URL instead of simulating locally")
 	tenant := flag.String("tenant", "", "tenant name for -fleet submissions")
+	policies := flag.String("policies", "", "compare adaptive policies over the load range via the profile->re-run loop (comma-separated, e.g. static,threshold,greedy,sdm-gate); prints a policy-comparison CSV instead of the load-latency curve (tdm only)")
+	profilesPath := flag.String("profiles", "", "with -policies, persist extracted traffic profiles to this JSONL file so repeated comparisons skip phase A")
+	specPath := flag.String("spec", "", "run the policy_profile campaign spec in this JSON file (e.g. scenarios/fig4_policy.json) instead of building one from the flags")
 	flag.Parse()
+
+	if *specPath != "" {
+		if *policies != "" || *fleetURL != "" {
+			fmt.Fprintln(os.Stderr, "sweep: -spec declares its own policies and runs locally; -policies/-fleet do not combine with it")
+			os.Exit(2)
+		}
+		f, err := os.Open(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		spec, err := campaign.ParseSpec(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %s: %v\n", *specPath, err)
+			os.Exit(2)
+		}
+		if spec.PolicyProfile == nil {
+			fmt.Fprintf(os.Stderr, "sweep: %s has no policy_profile section; submit plain specs to nocsimd instead\n", *specPath)
+			os.Exit(2)
+		}
+		runPolicyLoopSpec(spec, *results, *profilesPath)
+		return
+	}
 
 	if *step <= 0 || *to < *from {
 		fmt.Fprintf(os.Stderr, "sweep: bad load range [%v, %v] step %v\n", *from, *to, *step)
@@ -77,6 +105,15 @@ func main() {
 		MeasureCycles:   *cycles,
 		CheckInvariants: *check,
 	}
+	if *policies != "" {
+		if *fleetURL != "" {
+			fmt.Fprintln(os.Stderr, "sweep: -policies runs the profile->re-run loop locally; it is not supported with -fleet")
+			os.Exit(2)
+		}
+		runPolicyComparison(spec, *policies, *results, *profilesPath)
+		return
+	}
+
 	jobs, err := spec.Expand()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -135,6 +172,63 @@ func main() {
 		fmt.Print(lat.Render())
 		fmt.Println()
 		fmt.Print(acc.Render())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runPolicyComparison drives the offline profile→re-run loop across the
+// sweep's load range and prints one CSV row per (grid point, policy)
+// with the energy-per-flit and latency deltas against the static
+// baseline. Negative deltas are improvements.
+func runPolicyComparison(spec campaign.Spec, policies, results, profilesPath string) {
+	spec.Name = "policy-sweep"
+	spec.PolicyProfile = &campaign.PolicyProfileSpec{Policies: strings.Split(policies, ",")}
+	runPolicyLoopSpec(spec, results, profilesPath)
+}
+
+// runPolicyLoopSpec runs a ready policy_profile spec (from flags or a
+// scenario file) and prints the comparison CSV.
+func runPolicyLoopSpec(spec campaign.Spec, results, profilesPath string) {
+	var store *campaign.Store
+	if results != "" {
+		s, err := campaign.OpenStore(results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		store = s
+	}
+	var profs *campaign.ProfileStore
+	if profilesPath != "" {
+		p, err := campaign.OpenProfileStore(profilesPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer p.Close()
+		profs = p
+	}
+	eng := campaign.New(campaign.Options{Store: store})
+	rep, err := campaign.RunPolicyLoop(context.Background(), eng, spec, profs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	failed := 0
+	fmt.Println("label,policy,pins,base_energy_per_flit_pj,energy_per_flit_pj,energy_delta_pct,base_latency,latency,latency_delta_pct,throughput")
+	for _, o := range rep.Outcomes {
+		if o.Err != "" {
+			fmt.Fprintf(os.Stderr, "sweep: %s/%s: %s\n", o.Label, o.Policy, o.Err)
+			failed++
+			continue
+		}
+		fmt.Printf("%s,%s,%d,%.3f,%.3f,%+.2f,%.2f,%.2f,%+.2f,%.4f\n",
+			o.Label, o.Policy, len(o.Decision.PinnedFlows),
+			o.BaseEnergyPerFlit, o.EnergyPerFlit, o.EnergyDeltaPct,
+			o.BaseAvgLatency, o.AvgLatency, o.LatencyDeltaPct, o.Throughput)
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -73,5 +73,50 @@ func (c Config) Validate() error {
 	if c.Mode != HybridTDM && c.PathSharing {
 		return fmt.Errorf("hsnoc: PathSharing requires HybridTDM")
 	}
+	if c.DLTEntries < 0 {
+		return fmt.Errorf("hsnoc: negative DLT size %d", c.DLTEntries)
+	}
+	if c.SlotInit < 0 {
+		return fmt.Errorf("hsnoc: negative SlotInit %d", c.SlotInit)
+	}
+	if c.SlotInit > 0 {
+		if c.Mode != HybridTDM {
+			return fmt.Errorf("hsnoc: SlotInit requires HybridTDM")
+		}
+		slots := c.SlotTableEntries
+		if slots == 0 {
+			slots = 128
+		}
+		if c.SlotInit > slots {
+			return fmt.Errorf("hsnoc: SlotInit %d exceeds the %d-entry slot table", c.SlotInit, slots)
+		}
+	}
+	if (len(c.PinnedFlows) > 0 || c.RestrictSetups) && c.Mode != HybridTDM {
+		return fmt.Errorf("hsnoc: flow pinning requires HybridTDM")
+	}
+	nodes := c.Width * c.Height
+	for _, p := range c.PinnedFlows {
+		if p.Src < 0 || p.Src >= nodes || p.Dst < 0 || p.Dst >= nodes {
+			return fmt.Errorf("hsnoc: pinned flow %d->%d outside the %dx%d mesh", p.Src, p.Dst, c.Width, c.Height)
+		}
+	}
+	if c.GatedPlanes != 0 {
+		if c.Mode != HybridSDM {
+			return fmt.Errorf("hsnoc: GatedPlanes requires HybridSDM")
+		}
+		planes := c.Planes
+		if planes == 0 {
+			planes = 4
+		}
+		if c.GatedPlanes < 0 || c.GatedPlanes > planes-2 {
+			return fmt.Errorf("hsnoc: GatedPlanes %d of %d planes (at least 2 must stay on)", c.GatedPlanes, planes)
+		}
+	}
+	if c.AdaptiveEpoch < 0 || c.AdaptiveTopK < 0 {
+		return fmt.Errorf("hsnoc: negative adaptive parameter")
+	}
+	if c.AdaptiveEpoch > 0 && c.Mode != HybridTDM {
+		return fmt.Errorf("hsnoc: AdaptiveEpoch requires HybridTDM")
+	}
 	return nil
 }

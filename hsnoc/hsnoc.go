@@ -27,6 +27,7 @@ import (
 
 	"tdmnoc/internal/network"
 	"tdmnoc/internal/obs"
+	"tdmnoc/internal/policy"
 	"tdmnoc/internal/power"
 	"tdmnoc/internal/router"
 	"tdmnoc/internal/sdm"
@@ -125,7 +126,41 @@ type Config struct {
 	// cycle). Larger intervals cut the overhead proportionally but
 	// detect a divergence or violation only at the next checked cycle.
 	CheckInterval int
+
+	// The policy layer (see internal/policy and ApplyDecision): knobs a
+	// profile-derived Decision applies through plain configuration so
+	// re-runs stay digest-reproducible. All zero values mean "no policy".
+
+	// DLTEntries overrides the destination-lookup-table size used by
+	// path sharing (0 = the router default of 8).
+	DLTEntries int
+	// SlotInit, when > 0, starts the dynamic slot-table resizer at this
+	// active-region size instead of capacity/8 (HybridTDM with dynamic
+	// sizing only). Profiled runs use it to skip the discovery
+	// doublings — or to hold the table deliberately small.
+	SlotInit int
+	// PinnedFlows lists (src, dst) node pairs pinned to circuit
+	// switching: the source sets their circuits up eagerly on first
+	// send, skipping the frequency filter.
+	PinnedFlows []FlowPin
+	// RestrictSetups forbids circuit setups for flows not in
+	// PinnedFlows; non-pinned traffic stays packet-switched.
+	RestrictSetups bool
+	// GatedPlanes power-gates that many SDM link planes (HybridSDM
+	// only; at least 2 planes must stay on).
+	GatedPlanes int
+	// AdaptiveEpoch, when > 0, enables the online in-sim controller:
+	// every AdaptiveEpoch cycles the network re-ranks flows from the
+	// recorder's windowed flow series and re-pins the top AdaptiveTopK
+	// (default 8), re-allocating slot tables when the set changed.
+	// HybridTDM only; telemetry (with flow tracking) is attached
+	// automatically if the caller has not attached its own.
+	AdaptiveEpoch int64
+	AdaptiveTopK  int
 }
+
+// FlowPin names one (src, dst) flow pinned to circuit switching.
+type FlowPin = policy.FlowPin
 
 // DefaultConfig returns the Table-I baseline configuration for a
 // width x height mesh.
@@ -161,6 +196,19 @@ func (c Config) networkConfig() network.Config {
 		if c.PathSharing {
 			nc = nc.WithSharing()
 		}
+		if c.DLTEntries > 0 {
+			nc.Router.DLTEntries = c.DLTEntries
+		}
+		nc.SlotInit = c.SlotInit
+		if len(c.PinnedFlows) > 0 {
+			nc.PinnedFlows = make([]network.PinnedFlow, len(c.PinnedFlows))
+			for i, p := range c.PinnedFlows {
+				nc.PinnedFlows[i] = network.PinnedFlow{Src: p.Src, Dst: p.Dst}
+			}
+		}
+		nc.RestrictSetups = c.RestrictSetups
+		nc.AdaptiveEpoch = c.AdaptiveEpoch
+		nc.AdaptiveTopK = c.AdaptiveTopK
 	}
 	if c.VCPowerGating {
 		nc = nc.WithVCGating()
@@ -191,6 +239,7 @@ func (c Config) sdmConfig() sdm.Config {
 		sc.Planes = c.Planes
 		sc.CircuitPlanes = c.Planes - 1
 	}
+	sc.GatedPlanes = c.GatedPlanes
 	return sc
 }
 
@@ -328,6 +377,30 @@ func (s *Simulator) Drain(limit int) bool {
 	return s.net.Drain(limit)
 }
 
+// ensureAdaptiveTelemetry attaches the recorder the online controller
+// feeds on when AdaptiveEpoch is set and the caller has not attached
+// telemetry of their own. Called lazily at the first Warmup/Run so an
+// explicit AttachTelemetry (e.g. the campaign runner's) wins — it
+// force-enables flow tracking itself when the controller is on.
+func (s *Simulator) ensureAdaptiveTelemetry() {
+	if s.net == nil || s.cfg.AdaptiveEpoch <= 0 || s.rec != nil {
+		return
+	}
+	_, err := s.AttachTelemetry(TelemetryOptions{
+		// Windows aligned to controller epochs; the event timeline is
+		// heavily decimated — the controller reads aggregate flow
+		// counters, not the ring.
+		Every:        int(s.cfg.AdaptiveEpoch),
+		RingCapacity: 1 << 12,
+		RingSample:   1 << 10,
+		KindMask:     obs.ProfileFlows,
+		TrackFlows:   true,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("hsnoc: adaptive telemetry attach: %v", err))
+	}
+}
+
 // Warmup advances the simulation without measuring (the paper warms the
 // network with 1000 packets before measurement).
 func (s *Simulator) Warmup(cycles int) {
@@ -335,6 +408,7 @@ func (s *Simulator) Warmup(cycles int) {
 		s.sdmNet.Run(cycles)
 		return
 	}
+	s.ensureAdaptiveTelemetry()
 	s.net.Run(cycles)
 }
 
@@ -346,6 +420,7 @@ func (s *Simulator) Run(cycles int) Results {
 		s.sdmNet.Run(cycles)
 		return s.collectSDM(int64(cycles))
 	}
+	s.ensureAdaptiveTelemetry()
 	s.net.EnableStats()
 	s.net.Run(cycles)
 	s.measured += int64(cycles)
@@ -372,6 +447,7 @@ func (s *Simulator) RunContext(ctx context.Context, cycles int) (Results, error)
 	if s.sdmNet != nil {
 		s.sdmNet.EnableStats()
 	} else {
+		s.ensureAdaptiveTelemetry()
 		s.net.EnableStats()
 	}
 	for done := 0; done < cycles; {
@@ -417,6 +493,7 @@ func (s *Simulator) RunUntilPackets(target int64, limit int) Results {
 	if s.sdmNet != nil {
 		s.sdmNet.EnableStats()
 	} else {
+		s.ensureAdaptiveTelemetry()
 		s.net.EnableStats()
 	}
 	run := 0

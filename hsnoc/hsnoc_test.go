@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -217,7 +218,7 @@ func TestConfigSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != cfg {
+	if !reflect.DeepEqual(got, cfg) {
 		t.Fatalf("round trip changed config:\n%+v\n%+v", got, cfg)
 	}
 }

@@ -27,6 +27,12 @@ type TelemetryOptions struct {
 	// (<= 1 = all). Aggregate counters stay exact; the sampled timeline
 	// is deterministic across worker counts.
 	RingSample int
+	// TrackFlows aggregates exact per-(src, dst) flow counters, the
+	// input to profile extraction (ExtractProfile) and the online
+	// adaptive controller. Forced on when Config.AdaptiveEpoch > 0.
+	// Requires the inject/eject/setup-latency kinds to pass KindMask
+	// (obs.ProfileFlows includes them).
+	TrackFlows bool
 }
 
 // AttachTelemetry creates an obs.Recorder sized by opt and attaches it
@@ -46,6 +52,15 @@ func (s *Simulator) AttachTelemetry(opt TelemetryOptions) (*obs.Recorder, error)
 	if every <= 0 {
 		every = 64
 	}
+	// The online controller ranks flows from the recorder; any recorder
+	// attached to an adaptive network must track them.
+	trackFlows := opt.TrackFlows || s.cfg.AdaptiveEpoch > 0
+	if trackFlows && opt.KindMask != 0 {
+		need := obs.MaskOf(obs.KindInject, obs.KindEject, obs.KindSetupLatency)
+		if opt.KindMask&need != need {
+			return nil, fmt.Errorf("hsnoc: TrackFlows requires the inject, eject and setup-latency kinds in KindMask")
+		}
+	}
 	rec := obs.NewRecorder(obs.RecorderConfig{
 		Nodes:        s.net.Mesh().Nodes(),
 		RingCapacity: opt.RingCapacity,
@@ -54,6 +69,7 @@ func (s *Simulator) AttachTelemetry(opt TelemetryOptions) (*obs.Recorder, error)
 		Shards:       s.net.Workers(),
 		KindMask:     opt.KindMask,
 		RingSample:   opt.RingSample,
+		TrackFlows:   trackFlows,
 	})
 	s.net.AttachProbe(rec, every)
 	s.rec = rec

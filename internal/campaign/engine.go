@@ -58,6 +58,11 @@ type Engine struct {
 	telemSetupCount atomic.Uint64
 	telemDroppedWin atomic.Uint64
 	telemBuckets    [len(obs.LatencyBuckets) + 1]atomic.Uint64
+	// Per-worker-shard event-ring drop counters (index = shard). Jobs
+	// have varying shard counts, so the slice grows under a mutex —
+	// this runs once per completed job, never on a simulation hot path.
+	telemMu        sync.Mutex
+	telemRingDrops []uint64
 
 	draining atomic.Bool
 }
@@ -112,6 +117,12 @@ type Telemetry struct {
 	// across jobs — nonzero means some timelines are truncated at the
 	// head and long-run plots start late.
 	DroppedWindows uint64 `json:"dropped_windows"`
+	// RingDrops sums the per-shard event-ring evictions across jobs;
+	// RingDropsByShard is the per-worker-shard breakdown (index =
+	// shard). Nonzero means exported traces are missing their oldest
+	// events — raise RingCapacity or RingSample if that matters.
+	RingDrops        uint64   `json:"ring_drops"`
+	RingDropsByShard []uint64 `json:"ring_drops_by_shard"`
 }
 
 // Telemetry snapshots the aggregated observability counters.
@@ -127,6 +138,12 @@ func (e *Engine) Telemetry() Telemetry {
 	}
 	for i := range e.telemBuckets {
 		t.Buckets[i] = e.telemBuckets[i].Load()
+	}
+	e.telemMu.Lock()
+	t.RingDropsByShard = append([]uint64(nil), e.telemRingDrops...)
+	e.telemMu.Unlock()
+	for _, d := range t.RingDropsByShard {
+		t.RingDrops += d
 	}
 	return t
 }
@@ -260,6 +277,14 @@ func (e *Engine) runOne(ctx context.Context, j Job) (rec Record) {
 		for i, c := range sum.SetupLatency.Counts {
 			e.telemBuckets[i].Add(c)
 		}
+		e.telemMu.Lock()
+		for i, d := range sum.ShardRingDrops {
+			if i >= len(e.telemRingDrops) {
+				e.telemRingDrops = append(e.telemRingDrops, make([]uint64, i+1-len(e.telemRingDrops))...)
+			}
+			e.telemRingDrops[i] += d
+		}
+		e.telemMu.Unlock()
 	}
 	return rec
 }

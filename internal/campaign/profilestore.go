@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"tdmnoc/internal/policy"
+)
+
+// profileLine is one persisted profile: the job-derived cache key plus
+// the extracted traffic profile.
+type profileLine struct {
+	Key     string          `json:"key"`
+	Profile *policy.Profile `json:"profile"`
+}
+
+// ProfileStore persists extracted traffic profiles as append-only JSONL,
+// mirroring the result Store: profiles are pure functions of their jobs
+// (byte-identical at any worker count), so a cached profile is
+// interchangeable with a fresh extraction and an interrupted policy
+// campaign resumes its phase-A work. Keys are ProfileKey(job, every).
+type ProfileStore struct {
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	cache map[string]*policy.Profile
+}
+
+// ProfileKey names the profile of one base job at one sampling interval.
+// The interval is part of the key because it changes the recorder's
+// window series (though not the flow aggregates), so profiles from
+// different intervals are kept distinct rather than silently shared.
+func ProfileKey(j Job, every int) string {
+	return fmt.Sprintf("%s|profile|%d", j.Key, every)
+}
+
+// OpenProfileStore opens (creating if needed) the JSONL profile store
+// at path and loads its existing profiles.
+func OpenProfileStore(path string) (*ProfileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open profile store: %w", err)
+	}
+	s := &ProfileStore{f: f, path: path, cache: map[string]*policy.Profile{}}
+	br := bufio.NewReader(f)
+	for {
+		line, rerr := br.ReadBytes('\n')
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var p profileLine
+			switch jerr := json.Unmarshal(trimmed, &p); {
+			case jerr != nil && rerr == nil:
+				f.Close()
+				return nil, fmt.Errorf("campaign: profile store %s: corrupt line: %w", path, jerr)
+			case jerr != nil:
+				// Torn trailing line from a crash; its profile is re-extracted.
+			case p.Key != "" && p.Profile != nil:
+				s.cache[p.Key] = p.Profile
+			}
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				break
+			}
+			f.Close()
+			return nil, fmt.Errorf("campaign: read profile store %s: %w", path, rerr)
+		}
+	}
+	return s, nil
+}
+
+// Path returns the backing file path.
+func (s *ProfileStore) Path() string { return s.path }
+
+// Len is the number of cached profiles.
+func (s *ProfileStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// Lookup returns the cached profile for key.
+func (s *ProfileStore) Lookup(key string) (*policy.Profile, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.cache[key]
+	return p, ok
+}
+
+// Append persists one profile unless its key is already cached
+// (profiles are content-addressed: a duplicate would be byte-equal).
+func (s *ProfileStore) Append(key string, p *policy.Profile) error {
+	if key == "" || p == nil {
+		return fmt.Errorf("campaign: refusing to persist empty profile")
+	}
+	b, err := json.Marshal(profileLine{Key: key, Profile: p})
+	if err != nil {
+		return fmt.Errorf("campaign: encode profile: %w", err)
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.cache[key]; dup {
+		return nil
+	}
+	if s.f == nil {
+		return fmt.Errorf("campaign: profile store %s is closed", s.path)
+	}
+	if _, err := s.f.Write(b); err != nil {
+		return fmt.Errorf("campaign: append profile: %w", err)
+	}
+	s.cache[key] = p
+	return nil
+}
+
+// Close releases the backing file. Lookups keep working from memory.
+func (s *ProfileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

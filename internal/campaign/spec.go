@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"tdmnoc/hsnoc"
+	"tdmnoc/internal/policy"
 )
 
 // MeshSize is one topology point of the grid.
@@ -81,6 +82,27 @@ type Spec struct {
 	// reports violations fail with a descriptive Err instead of
 	// persisting a corrupt record.
 	CheckInvariants bool `json:"check_invariants,omitempty"`
+	// PolicyProfile turns the campaign into a profile→re-run policy
+	// loop (RunPolicyLoop): phase A runs every grid point with
+	// flow-tracking telemetry and extracts a traffic profile, phase B
+	// re-runs each point under every listed policy's decision and
+	// reports the energy/latency deltas against the static baseline.
+	// Requires tdm-only modes and is mutually exclusive with
+	// TelemetryEvery (phase A attaches its own recorder).
+	PolicyProfile *PolicyProfileSpec `json:"policy_profile,omitempty"`
+}
+
+// PolicyProfileSpec is the policy-loop axis of a Spec.
+type PolicyProfileSpec struct {
+	// Policies are the adaptive policies to compare, in policy.Parse
+	// syntax ("static", "threshold:64", "greedy:8", "sdm-gate"). The
+	// "static" baseline is prepended when absent — every comparison
+	// needs its anchor.
+	Policies []string `json:"policies"`
+	// ProfileEvery is phase A's telemetry sampling interval in cycles
+	// (default 512). It shapes the window series in the profile, not
+	// the flow aggregates, and is part of the profile cache key.
+	ProfileEvery int `json:"profile_every,omitempty"`
 }
 
 // ParseSpec reads a JSON spec, rejecting unknown fields so typos fail
@@ -157,6 +179,40 @@ func (s *Spec) Normalize() error {
 	for _, p := range s.Patterns {
 		if _, err := ParsePattern(p); err != nil {
 			return err
+		}
+	}
+	if pp := s.PolicyProfile; pp != nil {
+		if s.TelemetryEvery > 0 {
+			return fmt.Errorf("campaign: policy_profile and telemetry_every are mutually exclusive (phase A attaches its own recorder)")
+		}
+		for _, m := range s.Modes {
+			if mode, err := ParseMode(m); err != nil || mode != hsnoc.HybridTDM {
+				return fmt.Errorf("campaign: policy_profile requires tdm-only modes (got %q)", m)
+			}
+		}
+		if pp.ProfileEvery < 0 {
+			return fmt.Errorf("campaign: profile_every %d negative", pp.ProfileEvery)
+		}
+		if pp.ProfileEvery == 0 {
+			pp.ProfileEvery = 512
+		}
+		if len(pp.Policies) == 0 {
+			return fmt.Errorf("campaign: policy_profile needs at least one policy (%s)", strings.Join(policy.Names(), "|"))
+		}
+		hasStatic := false
+		for _, ps := range pp.Policies {
+			pol, err := policy.Parse(ps)
+			if err != nil {
+				return fmt.Errorf("campaign: %w", err)
+			}
+			if pol.Name() == "static" {
+				hasStatic = true
+			}
+		}
+		if !hasStatic {
+			// The baseline anchors every delta; silently missing it would
+			// make the report compare policies against nothing.
+			pp.Policies = append([]string{"static"}, pp.Policies...)
 		}
 	}
 	return nil

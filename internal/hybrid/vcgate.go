@@ -188,6 +188,21 @@ func DefaultResizer(capacity int) *Resizer {
 	return &Resizer{Capacity: capacity, InitialActive: init, FailThreshold: 16, active: init}
 }
 
+// ResizerWithInitial is DefaultResizer with a policy-chosen starting
+// region: a profiled run lets the next run begin at (or deliberately
+// below) the converged size instead of discovering it by doubling. The
+// initial size is clamped to [1, capacity]; the doubling path stays
+// armed as the safety valve for a misestimated profile.
+func ResizerWithInitial(capacity, initial int) *Resizer {
+	if initial < 1 {
+		initial = 1
+	}
+	if initial > capacity {
+		initial = capacity
+	}
+	return &Resizer{Capacity: capacity, InitialActive: initial, FailThreshold: 16, active: initial}
+}
+
 // FixedResizer pins the active size to the full capacity, disabling
 // dynamic sizing (the ablation baseline).
 func FixedResizer(capacity int) *Resizer {

@@ -73,6 +73,31 @@ type Config struct {
 	// tables, so in-flight CS flits land first.
 	DrainWindow int
 
+	// SlotInit, when > 0, overrides the dynamic resizer's initial
+	// active slot-table region (normally capacity/8). Policy decisions
+	// use it to start the table at the profiled demand instead of
+	// discovering it through freeze→drain→reset doublings.
+	SlotInit int
+	// PinnedFlows lists (src, dst) node-id pairs whose circuits are set
+	// up eagerly: the first send to a pinned destination triggers a
+	// setup, skipping the SetupThreshold/FreqWindow frequency filter.
+	PinnedFlows []PinnedFlow
+	// RestrictSetups forbids circuit setups for flows not in
+	// PinnedFlows (or, under the adaptive controller, not in the
+	// current epoch's pin set). Non-pinned traffic stays packet-
+	// switched, which keeps the slot tables small and eliminates their
+	// setup/teardown config traffic.
+	RestrictSetups bool
+	// AdaptiveEpoch, when > 0, enables the online controller: every
+	// AdaptiveEpoch cycles the network re-ranks flows by the recorder's
+	// windowed flow deltas (bytes × distance), re-pins the top
+	// AdaptiveTopK, and — when the pin set changed — re-allocates the
+	// slot tables through the same freeze→drain→reset path the dynamic
+	// resizer uses. Requires an attached flow-tracking recorder.
+	AdaptiveEpoch int64
+	// AdaptiveTopK bounds the online controller's pin set (default 8).
+	AdaptiveTopK int
+
 	// Power is the technology parameter set for energy reporting.
 	Power power.Params
 
@@ -175,4 +200,21 @@ func (c Config) validate() {
 	if c.PSDataFlits <= 0 || c.CSDataFlits <= 0 {
 		panic("network: packet sizes must be positive")
 	}
+	if c.SlotInit < 0 || c.SlotInit > c.Router.SlotCapacity {
+		panic("network: SlotInit outside [0, SlotCapacity]")
+	}
+	if c.AdaptiveEpoch > 0 && !c.HybridSwitching {
+		panic("network: AdaptiveEpoch requires HybridSwitching")
+	}
+	nodes := c.Width * c.Height
+	for _, p := range c.PinnedFlows {
+		if p.Src < 0 || p.Src >= nodes || p.Dst < 0 || p.Dst >= nodes {
+			panic("network: PinnedFlows node id outside the mesh")
+		}
+	}
+}
+
+// PinnedFlow names one (src, dst) pair pinned to circuit switching.
+type PinnedFlow struct {
+	Src, Dst int
 }

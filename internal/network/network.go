@@ -5,6 +5,7 @@ import (
 	"tdmnoc/internal/hybrid"
 	"tdmnoc/internal/invariant"
 	"tdmnoc/internal/obs"
+	"tdmnoc/internal/policy"
 	"tdmnoc/internal/power"
 	"tdmnoc/internal/router"
 	"tdmnoc/internal/sim"
@@ -48,6 +49,16 @@ type Network struct {
 	csFrozen   bool
 	resizeAt   sim.Cycle // non-zero while a reset is scheduled
 	resizeTo   int
+
+	// Online adaptive controller state (cfg.AdaptiveEpoch > 0): the
+	// cumulative per-flow flit totals at the last epoch boundary (so
+	// each epoch ranks the *window's* traffic, not the run's), the pin
+	// set currently installed at the NIs, and how many epoch
+	// re-allocations have fired. All touched only between cycles on the
+	// caller goroutine.
+	adaptPrev   map[uint64]int64
+	adaptPins   []policy.FlowPin
+	adaptRepins int
 }
 
 // EndpointFactory builds the traffic endpoint for each tile; it may
@@ -63,7 +74,11 @@ func New(cfg Config, mk EndpointFactory) *Network {
 	}
 
 	if cfg.Router.Hybrid && cfg.DynamicSlots {
-		n.resizer = hybrid.DefaultResizer(cfg.Router.SlotCapacity)
+		if cfg.SlotInit > 0 {
+			n.resizer = hybrid.ResizerWithInitial(cfg.Router.SlotCapacity, cfg.SlotInit)
+		} else {
+			n.resizer = hybrid.DefaultResizer(cfg.Router.SlotCapacity)
+		}
 	} else {
 		n.resizer = hybrid.FixedResizer(max(1, cfg.Router.SlotCapacity))
 	}
@@ -189,26 +204,31 @@ func (n *Network) RunUntil(done func() bool, limit int) (int, bool) {
 }
 
 // manage is the serial between-cycle management step: it feeds setup
-// outcomes to the resizing policy and orchestrates the freeze → drain →
-// reset sequence of Section II-C.
+// outcomes to the resizing policy, runs the online adaptive controller
+// at epoch boundaries, and orchestrates the freeze → drain → reset
+// sequence of Section II-C (shared by resizer doublings and adaptive
+// re-pins).
 func (n *Network) manage() {
-	if !n.cfg.DynamicSlots {
+	now := n.clock.Now()
+	if n.cfg.DynamicSlots {
+		for _, ni := range n.nis {
+			for _, ok := range ni.setupResults {
+				if newActive, resized := n.resizer.RecordSetupResultAt(ok, int64(now)); resized && n.resizeAt == 0 {
+					n.resizeTo = newActive
+					n.resizeAt = now + sim.Cycle(n.cfg.DrainWindow)
+					n.csFrozen = true
+					n.epoch++
+				}
+			}
+			ni.setupResults = ni.setupResults[:0]
+		}
+	} else {
 		for _, ni := range n.nis {
 			ni.setupResults = ni.setupResults[:0]
 		}
-		return
 	}
-	now := n.clock.Now()
-	for _, ni := range n.nis {
-		for _, ok := range ni.setupResults {
-			if newActive, resized := n.resizer.RecordSetupResultAt(ok, int64(now)); resized && n.resizeAt == 0 {
-				n.resizeTo = newActive
-				n.resizeAt = now + sim.Cycle(n.cfg.DrainWindow)
-				n.csFrozen = true
-				n.epoch++
-			}
-		}
-		ni.setupResults = ni.setupResults[:0]
+	if n.cfg.AdaptiveEpoch > 0 {
+		n.adaptStep(now)
 	}
 	if n.resizeAt != 0 && now >= n.resizeAt {
 		for _, r := range n.routers {
@@ -229,6 +249,61 @@ func (n *Network) manage() {
 		n.exec.WakeAll()
 	}
 }
+
+// adaptStep is the online controller: at each AdaptiveEpoch boundary it
+// ranks the epoch's flow deltas by the greedy bytes×distance metric,
+// re-pins the top AdaptiveTopK flows, and — only when the pin set
+// actually changed — re-allocates every slot table through the same
+// freeze → drain → reset path the dynamic resizer uses, under the
+// invariant checker's slot-table ownership rules. It runs serially
+// between cycles from recorder state that is itself worker-invariant,
+// so digests stay identical at any worker count.
+func (n *Network) adaptStep(now sim.Cycle) {
+	if n.rec == nil || int64(now)%n.cfg.AdaptiveEpoch != 0 {
+		return
+	}
+	if n.resizeAt != 0 {
+		return // a drain is already in progress; skip this boundary
+	}
+	flows := n.rec.FlowStats()
+	scored := policy.ScoreFlows(flows, n.adaptPrev, n.cfg.Width)
+	if n.adaptPrev == nil {
+		n.adaptPrev = make(map[uint64]int64, len(flows))
+	}
+	for _, f := range flows {
+		n.adaptPrev[policy.FlowKey(f.Src, f.Dst)] = f.Flits
+	}
+	k := n.cfg.AdaptiveTopK
+	if k <= 0 {
+		k = 8
+	}
+	pins := policy.PinsOf(policy.SelectTopK(scored, k))
+	if policy.PinsEqual(pins, n.adaptPins) {
+		return
+	}
+	n.adaptPins = pins
+	n.adaptRepins++
+	for _, ni := range n.nis {
+		// A fresh (possibly empty) map on every NI: "policy active".
+		ni.pins = make(map[topology.NodeID]bool)
+	}
+	for _, p := range pins {
+		n.nis[p.Src].pins[topology.NodeID(p.Dst)] = true
+	}
+	// Old circuits may belong to flows that just lost their pin; rather
+	// than tearing them down piecemeal, reuse the proven reset protocol
+	// at the current active size: freeze CS injection, drain in-flight
+	// circuit flits, wipe every table, bump the epoch so stale acks and
+	// teardowns are discarded.
+	n.resizeTo = n.slotActive
+	n.resizeAt = now + sim.Cycle(n.cfg.DrainWindow)
+	n.csFrozen = true
+	n.epoch++
+}
+
+// AdaptiveRepins reports how many epoch re-allocations the online
+// controller performed.
+func (n *Network) AdaptiveRepins() int { return n.adaptRepins }
 
 // AttachEventSink installs a router-event trace sink on every router.
 // Only supported with a serial executor: the sink runs inside router

@@ -193,6 +193,13 @@ type NI struct {
 	backoff     map[topology.NodeID]sim.Cycle
 	freq        map[topology.NodeID]int
 	freqResetAt sim.Cycle
+	// pins is the circuit-pinning policy state: nil means no policy is
+	// active (every flow rides the frequency filter); non-nil means
+	// pinned destinations set up eagerly on first send and — when
+	// Config.RestrictSetups — everything else never sets up. Installed
+	// from Config.PinnedFlows at construction or replaced between
+	// cycles by the online controller.
+	pins        map[topology.NodeID]bool
 	dlt         *hybrid.DLT
 	dltAccesses int64
 	dltEventBuf []router.DLTEvent
@@ -236,6 +243,17 @@ func newNI(id topology.NodeID, net *Network, r *router.Router, rng *sim.RNG, ep 
 	}
 	if net.cfg.Sharing {
 		ni.dlt = hybrid.NewDLT(net.cfg.Router.DLTEntries)
+	}
+	if len(net.cfg.PinnedFlows) > 0 {
+		// Every NI gets a (possibly empty) pin map so RestrictSetups
+		// applies uniformly: an empty non-nil map means "policy active,
+		// nothing pinned here".
+		ni.pins = make(map[topology.NodeID]bool)
+		for _, p := range net.cfg.PinnedFlows {
+			if topology.NodeID(p.Src) == id {
+				ni.pins[topology.NodeID(p.Dst)] = true
+			}
+		}
 	}
 	ni.epQ, _ = ep.(QuiescentEndpoint)
 	ni.canSleep = ep == nil || ni.epQ != nil
@@ -440,8 +458,11 @@ func (ni *NI) handleAck(now sim.Cycle, pkt *flit.Packet) {
 			if pkt.Config.OK {
 				okb = 1
 			}
+			// Slot carries the circuit destination so flow tracking can
+			// attribute the round trip (Event must not grow a Dst field).
 			ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindSetupLatency,
-				Node: int32(ni.id), B: okb, Pkt: pkt.ID, Val: int64(now - st.sentAt)})
+				Node: int32(ni.id), B: okb, Pkt: pkt.ID, Val: int64(now - st.sentAt),
+				Slot: int32(dst)})
 		}
 	}
 	stale := pkt.Config.Epoch != ni.net.epoch
@@ -699,6 +720,19 @@ func (ni *NI) slotWait(now sim.Cycle, slot, active int) int {
 // that communicate frequently").
 func (ni *NI) noteFrequency(now sim.Cycle, dst topology.NodeID) {
 	cfg := &ni.net.cfg
+	if ni.pins != nil {
+		// Circuit pinning overrides the frequency filter: pinned flows
+		// set up on first use (the profile already proved them
+		// persistent), and under RestrictSetups nothing else may claim
+		// slot-table space.
+		if ni.pins[dst] {
+			ni.maybeSetup(now, dst)
+			return
+		}
+		if cfg.RestrictSetups {
+			return
+		}
+	}
 	if now >= ni.freqResetAt {
 		clear(ni.freq)
 		ni.freqResetAt = now + sim.Cycle(cfg.FreqWindow)
@@ -937,8 +971,15 @@ func (ni *NI) stageCS(now sim.Cycle) {
 			pkt.InjectedAt = int64(now + 1)
 			ni.Stats.RecordInjection(pkt)
 			if ni.probe.Wants(obs.KindInject) {
+				// Slot carries the flow's true destination — the hop-off
+				// endpoint for vicinity-shared packets, not the circuit's.
+				dst := pkt.Dst
+				if pkt.HopOff {
+					dst = pkt.HopOffDst
+				}
 				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindInject,
-					Node: int32(ni.id), B: 1, Pkt: pkt.ID, Val: int64(pkt.Flits)})
+					Node: int32(ni.id), B: 1, Pkt: pkt.ID, Val: int64(pkt.Flits),
+					Slot: int32(dst)})
 			}
 		}
 	}
@@ -1036,7 +1077,8 @@ func (ni *NI) tryStartPS(now sim.Cycle) {
 			ni.Stats.RecordInjection(pkt)
 			if ni.probe.Wants(obs.KindInject) {
 				ni.probe.Emit(obs.Event{Cycle: int64(now), Kind: obs.KindInject,
-					Node: int32(ni.id), Pkt: pkt.ID, Val: int64(pkt.Flits)})
+					Node: int32(ni.id), Pkt: pkt.ID, Val: int64(pkt.Flits),
+					Slot: int32(pkt.Dst)})
 			}
 		}
 	}

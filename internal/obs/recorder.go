@@ -82,6 +82,12 @@ type Summary struct {
 	SetupLatency   Histogram `json:"setup_latency"`
 	BucketLE       []int64   `json:"bucket_le"`
 	Samples        []Sample  `json:"samples,omitempty"`
+	// ShardRingDrops is the per-worker-shard breakdown of RingDrops.
+	// Runtime-only (like campaign.Record.Cached): the JSON form of a
+	// Summary must not depend on the worker count, but an in-process
+	// consumer (nocsimd's Prometheus endpoint) wants to know which
+	// worker's ring was undersized.
+	ShardRingDrops []uint64 `json:"-"`
 }
 
 // RecorderConfig sizes a Recorder. The zero value of every field picks
@@ -112,6 +118,11 @@ type RecorderConfig struct {
 	// is exempt so sampled gauges survive. Per-tile counters keep the
 	// sampled timeline identical across worker counts.
 	RingSample int
+	// TrackFlows aggregates exact per-(src, dst) flow counters (see
+	// FlowStat / FlowStats) for profile extraction. Requires KindInject,
+	// KindEject and KindSetupLatency to pass the kind mask. Off by
+	// default: the first packet of each flow allocates its map entry.
+	TrackFlows bool
 }
 
 // Recorder owns per-worker shards (event ring + counters each), the
@@ -127,6 +138,7 @@ type Recorder struct {
 
 	mask       uint32
 	ringSample int
+	trackFlows bool
 
 	control Handle
 
@@ -166,12 +178,16 @@ func NewRecorder(cfg RecorderConfig) *Recorder {
 		every:      int64(cfg.SampleEvery),
 		mask:       cfg.KindMask,
 		ringSample: cfg.RingSample,
+		trackFlows: cfg.TrackFlows,
 		samples:    make([]Sample, cfg.MaxSamples),
 	}
 	for i := range r.shards {
 		r.shards[i] = &Shard{
 			ring:      NewRing(cfg.RingCapacity),
 			linkFlits: make([]int64, cfg.Nodes*int(topology.NumPorts)),
+		}
+		if cfg.TrackFlows {
+			r.shards[i].flows = make(map[uint64]*FlowStat)
 		}
 	}
 	// The control handle never samples: between-cycle gauges and energy
@@ -329,6 +345,7 @@ func (r *Recorder) Summary() *Summary {
 		SetupLatency:   r.SetupLatency(),
 		BucketLE:       le,
 		Samples:        r.Samples(),
+		ShardRingDrops: r.ShardDrops(),
 	}
 	for _, s := range r.shards {
 		sum.Events += s.events

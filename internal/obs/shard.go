@@ -61,6 +61,11 @@ type Shard struct {
 	setupsOK, setupsFail int64
 	setupLatency         Histogram
 
+	// flows aggregates per-(src, dst) counters when the recorder was
+	// built with TrackFlows; nil otherwise, so the untracked cost is a
+	// single nil check inside the three flow-relevant aggregate cases.
+	flows map[uint64]*FlowStat
+
 	// win* are this shard's contribution to the currently open telemetry
 	// window; Recorder.Sync folds and clears them when the window closes.
 	winCS, winPS, winSteals             int64
@@ -85,8 +90,24 @@ func (s *Shard) aggregate(e Event) {
 	switch e.Kind {
 	case KindInject:
 		s.injected++
+		// Inject events carry the flow destination in the otherwise
+		// unused Slot field (Event must not grow past the register ABI).
+		if s.flows != nil {
+			f := s.flow(flowKey(e.Node, e.Slot))
+			f.Packets++
+			f.Flits += e.Val
+			if e.B != 0 {
+				f.CSPackets++
+			}
+		}
 	case KindEject:
 		s.ejected++
+		// The source NI is recoverable from the packet id (id<<40 | seq).
+		if s.flows != nil {
+			f := s.flow(flowKey(int32(e.Pkt>>40), e.Node))
+			f.Ejected++
+			f.LatencySum += e.Val
+		}
 	case KindLinkTraverse:
 		if i := int(e.Node)*int(topology.NumPorts) + int(e.A); i >= 0 && i < len(s.linkFlits) {
 			s.linkFlits[i]++
@@ -109,6 +130,16 @@ func (s *Shard) aggregate(e Event) {
 		} else {
 			s.setupsFail++
 			s.winSetupFail++
+		}
+		// Setup events carry the circuit destination in Slot (see inject).
+		if s.flows != nil {
+			f := s.flow(flowKey(e.Node, e.Slot))
+			if e.B != 0 {
+				f.SetupsOK++
+				f.SetupLatencySum += e.Val
+			} else {
+				f.SetupsFailed++
+			}
 		}
 	case KindVCOccupancy:
 		s.winBuffered += e.Val

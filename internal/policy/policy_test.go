@@ -1,0 +1,239 @@
+package policy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdmnoc/internal/obs"
+)
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		name string
+	}{
+		{"static", "static"},
+		{"threshold", "threshold"},
+		{"threshold:128", "threshold"},
+		{"greedy", "greedy"},
+		{"greedy:8", "greedy"},
+		{"sdm-gate", "sdm-gate"},
+		{"sdm-gate:6", "sdm-gate"},
+	} {
+		p, err := Parse(tc.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.spec, err)
+		}
+		if p.Name() != tc.name {
+			t.Errorf("Parse(%q).Name() = %q, want %q", tc.spec, p.Name(), tc.name)
+		}
+	}
+	for _, bad := range []string{"", "nope", "greedy:", "greedy:0", "greedy:-3", "greedy:x", "static:4"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+	// Parameters reach the policy.
+	if g, _ := Parse("greedy:8"); g.(Greedy).TopK != 8 {
+		t.Errorf("greedy:8 TopK = %d", g.(Greedy).TopK)
+	}
+	if th, _ := Parse("threshold:128"); th.(Threshold).MinPackets != 128 {
+		t.Errorf("threshold:128 MinPackets = %d", th.(Threshold).MinPackets)
+	}
+}
+
+func TestSelectTopKTotalOrder(t *testing.T) {
+	a := []ScoredFlow{{Src: 3, Dst: 1, Score: 10}, {Src: 1, Dst: 2, Score: 10}, {Src: 1, Dst: 0, Score: 10}, {Src: 0, Dst: 5, Score: 99}}
+	b := []ScoredFlow{{Src: 1, Dst: 0, Score: 10}, {Src: 0, Dst: 5, Score: 99}, {Src: 1, Dst: 2, Score: 10}, {Src: 3, Dst: 1, Score: 10}}
+	ta, tb := SelectTopK(a, 3), SelectTopK(b, 3)
+	if len(ta) != 3 || len(tb) != 3 {
+		t.Fatalf("lens %d, %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("selection depends on input order: %v vs %v", ta, tb)
+		}
+	}
+	if ta[0].Score != 99 {
+		t.Errorf("highest score not first: %v", ta)
+	}
+	// Non-positive scores are dropped even within k.
+	got := SelectTopK([]ScoredFlow{{Src: 0, Dst: 1, Score: 5}, {Src: 1, Dst: 2, Score: 0}, {Src: 2, Dst: 3, Score: -1}}, 3)
+	if len(got) != 1 {
+		t.Errorf("kept non-positive scores: %v", got)
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	// 4-wide mesh: node 0 = (0,0), node 15 = (3,3).
+	if d := HopDistance(0, 15, 4); d != 6 {
+		t.Errorf("HopDistance(0,15) = %d, want 6", d)
+	}
+	if d := HopDistance(5, 5, 4); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+	if d := HopDistance(0, 3, 4); d != 3 {
+		t.Errorf("row distance = %d, want 3", d)
+	}
+}
+
+func TestEstimateSlotDemand(t *testing.T) {
+	if d := EstimateSlotDemand(nil, 4, 4, 4); d != 0 {
+		t.Errorf("empty demand = %d", d)
+	}
+	// One flow crossing one row: every traversed node sees 1 circuit,
+	// demand = 1 * (block+1).
+	if d := EstimateSlotDemand([]FlowPin{{Src: 0, Dst: 3}}, 4, 4, 4); d != 5 {
+		t.Errorf("single-flow demand = %d, want 5", d)
+	}
+	// Two flows converging on the same node double the peak.
+	pins := []FlowPin{{Src: 0, Dst: 3}, {Src: 8, Dst: 3}}
+	if d := EstimateSlotDemand(pins, 4, 4, 4); d != 10 {
+		t.Errorf("converging demand = %d, want 10", d)
+	}
+}
+
+func TestPinsEqualAndPinsOf(t *testing.T) {
+	flows := []ScoredFlow{{Src: 2, Dst: 1, Score: 5}, {Src: 0, Dst: 3, Score: 9}}
+	pins := PinsOf(flows)
+	if len(pins) != 2 || pins[0] != (FlowPin{Src: 0, Dst: 3}) || pins[1] != (FlowPin{Src: 2, Dst: 1}) {
+		t.Fatalf("PinsOf not sorted by (Src, Dst): %v", pins)
+	}
+	if !PinsEqual(pins, []FlowPin{{0, 3}, {2, 1}}) {
+		t.Error("PinsEqual false negative")
+	}
+	if PinsEqual(pins, []FlowPin{{0, 3}}) || PinsEqual(pins, []FlowPin{{0, 3}, {2, 2}}) {
+		t.Error("PinsEqual false positive")
+	}
+}
+
+// syntheticProfile builds a tornado-like profile on a 4x4 mesh: every
+// node sends to (node+2) mod 16 with heavy volume, plus a handful of
+// sporadic light flows that the policies should leave packet-switched.
+func syntheticProfile() *Profile {
+	p := &Profile{
+		ConfigHash: "test", Mode: "tdm", Width: 4, Height: 4,
+		Cycles: 10000, Injected: 3600, Ejected: 3590,
+		SlotActive: 64, SlotCapacity: 128,
+	}
+	for n := int32(0); n < 16; n++ {
+		p.Flows = append(p.Flows, obs.FlowStat{Src: n, Dst: (n + 2) % 16, Packets: 200, Flits: 1000})
+	}
+	p.Flows = append(p.Flows,
+		obs.FlowStat{Src: 0, Dst: 5, Packets: 3, Flits: 15},
+		obs.FlowStat{Src: 7, Dst: 1, Packets: 2, Flits: 10},
+		obs.FlowStat{Src: 4, Dst: 4, Packets: 50, Flits: 250}, // self flow: never pinnable
+	)
+	return p
+}
+
+func TestThresholdDecide(t *testing.T) {
+	d := Threshold{}.Decide(syntheticProfile())
+	if d.Policy != "threshold" || !d.RestrictSetups {
+		t.Fatalf("decision = %+v", d)
+	}
+	if len(d.PinnedFlows) != 16 {
+		t.Fatalf("pinned %d flows, want the 16 heavy ones: %v", len(d.PinnedFlows), d.PinnedFlows)
+	}
+	for _, pin := range d.PinnedFlows {
+		if pin.Src == pin.Dst {
+			t.Fatalf("pinned a self flow: %v", pin)
+		}
+	}
+	if d.SlotInit <= 0 || d.SlotInit > 128 {
+		t.Errorf("slot_init %d outside (0, capacity]", d.SlotInit)
+	}
+	// Raising the threshold above the heavy flows' packet count empties
+	// the pin set.
+	if d := (Threshold{MinPackets: 1000}).Decide(syntheticProfile()); len(d.PinnedFlows) != 0 {
+		t.Errorf("high threshold still pinned %v", d.PinnedFlows)
+	}
+}
+
+func TestGreedyDemandBudget(t *testing.T) {
+	p := syntheticProfile()
+	d := Greedy{}.Decide(p)
+	if d.Policy != "greedy" || !d.RestrictSetups {
+		t.Fatalf("decision = %+v", d)
+	}
+	if len(d.PinnedFlows) == 0 {
+		t.Fatal("budget greedy pinned nothing")
+	}
+	// The admitted set must respect the quarter-capacity budget.
+	budget := p.SlotCapacity / 4
+	if got := EstimateSlotDemand(d.PinnedFlows, p.Width, p.Height, avgFlits(p)); got > budget {
+		t.Errorf("admitted demand %d exceeds budget %d", got, budget)
+	}
+	// Deterministic: same profile, same decision.
+	if d2 := (Greedy{}.Decide(syntheticProfile())); !PinsEqual(d.PinnedFlows, d2.PinnedFlows) || d.SlotInit != d2.SlotInit {
+		t.Errorf("greedy not deterministic: %+v vs %+v", d, d2)
+	}
+	// Explicit TopK hard-caps regardless of budget.
+	if d := (Greedy{TopK: 3}).Decide(syntheticProfile()); len(d.PinnedFlows) != 3 {
+		t.Errorf("greedy:3 pinned %d flows", len(d.PinnedFlows))
+	}
+}
+
+func TestSDMGateDecide(t *testing.T) {
+	// syntheticProfile offers 18000+ flits over 10000 cycles * 16 nodes
+	// ≈ 0.11 flits/node/cycle — a light load that gates down to 2 planes.
+	d := SDMGate{}.Decide(syntheticProfile())
+	if !d.UseSDM || d.Policy != "sdm-gate" {
+		t.Fatalf("decision = %+v", d)
+	}
+	if d.GatedPlanes != 2 {
+		t.Errorf("light load gated %d of 4 planes, want 2", d.GatedPlanes)
+	}
+	// A saturated profile gates nothing.
+	hot := syntheticProfile()
+	for i := range hot.Flows {
+		hot.Flows[i].Flits *= 100
+	}
+	if d := (SDMGate{}).Decide(hot); d.GatedPlanes != 0 {
+		t.Errorf("saturated load gated %d planes", d.GatedPlanes)
+	}
+}
+
+func TestStaticDecideIsZero(t *testing.T) {
+	d := Static{}.Decide(syntheticProfile())
+	if !d.IsZero() {
+		t.Errorf("static decision changes config: %+v", d)
+	}
+}
+
+func TestProfileEncodeRoundTrip(t *testing.T) {
+	p := syntheticProfile()
+	b, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProfile(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("encode→decode→encode not byte-identical")
+	}
+	// Unknown fields fail loudly.
+	if _, err := ReadProfile(strings.NewReader(`{"width":4,"height":4,"bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadProfile(strings.NewReader(`{"mode":"tdm"}`)); err == nil {
+		t.Error("profile without mesh size accepted")
+	}
+}
+
+func TestSlotInitFor(t *testing.T) {
+	for _, tc := range []struct{ demand, cap, want int }{
+		{0, 128, 0}, {1, 128, 8}, {8, 128, 8}, {9, 128, 16}, {90, 128, 128}, {500, 128, 128},
+	} {
+		if got := slotInitFor(tc.demand, tc.cap); got != tc.want {
+			t.Errorf("slotInitFor(%d, %d) = %d, want %d", tc.demand, tc.cap, got, tc.want)
+		}
+	}
+}

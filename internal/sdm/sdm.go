@@ -49,6 +49,15 @@ type Config struct {
 	SetupThreshold int
 	// MaxCircuits bounds circuits per source.
 	MaxCircuits int
+	// GatedPlanes power-gates the highest-numbered planes of every link:
+	// gated planes carry no traffic (circuit or packet-switched) and
+	// their drivers leak no static power. At least two planes must stay
+	// on — one packet-switched escape plane plus one circuit-capable
+	// plane — and circuits are capped at one fewer than the ungated
+	// plane count regardless of CircuitPlanes. The SDM-gating adaptive
+	// policy sets this from observed utilization to trade peak circuit
+	// capacity for link leakage at low load.
+	GatedPlanes int
 	Seed        uint64
 }
 
@@ -72,7 +81,13 @@ func (c Config) validate() {
 	if c.CircuitPlanes >= c.Planes {
 		panic("sdm: at least one plane must remain packet-switched")
 	}
+	if c.GatedPlanes < 0 || c.Planes-c.GatedPlanes < 2 {
+		panic("sdm: gating must leave at least two planes on")
+	}
 }
+
+// activePlanes is the per-link plane count after power gating.
+func (c Config) activePlanes() int { return c.Planes - c.GatedPlanes }
 
 // circuit is an end-to-end plane reservation.
 type circuit struct {
@@ -189,7 +204,9 @@ func New(cfg Config, gen Generator) *Network {
 		for p := topology.Port(0); p < topology.NumPorts; p++ {
 			r.in[p] = make([]inputVC, cfg.VCs)
 			op := &r.out[p]
-			op.planes = make([]outPlane, cfg.Planes)
+			// Gated planes are simply absent: no allocator, arbiter or
+			// circuit walk can pick what is not in the array.
+			op.planes = make([]outPlane, cfg.activePlanes())
 			for k := range op.planes {
 				op.planes[k].circuit = -1
 			}
@@ -207,8 +224,23 @@ func New(cfg Config, gen Generator) *Network {
 			csQ:    map[int][]*flit.Flit{},
 			csNext: map[int]int64{},
 		})
+		n.meters[id].LinkChannels = n.linkChannels(topology.NodeID(id))
 	}
 	return n
+}
+
+// linkChannels counts the static link-driver channels a router leaks
+// through: one per ungated plane on the ejection channel and on each
+// outgoing mesh link. Plane gating shrinks this, which is the entire
+// energy benefit the SDM-gating policy trades circuit capacity for.
+func (n *Network) linkChannels(id topology.NodeID) int64 {
+	links := int64(1) // local ejection channel
+	for _, p := range []topology.Port{topology.North, topology.East, topology.South, topology.West} {
+		if _, ok := n.mesh.Neighbor(id, p); ok {
+			links++
+		}
+	}
+	return links * int64(n.cfg.activePlanes())
 }
 
 // Mesh returns the topology.
@@ -231,6 +263,8 @@ func (n *Network) EnableStats() {
 	n.Stats.Enabled = true
 	for i := range n.meters {
 		n.meters[i].Reset()
+		// Re-count the static link channels lost in the reset.
+		n.meters[i].LinkChannels = n.linkChannels(topology.NodeID(i))
 	}
 }
 
@@ -428,7 +462,13 @@ func (n *Network) tryReserveCircuit(src, dst topology.NodeID) bool {
 				picked = k
 			}
 		}
-		if picked < 0 || owned >= n.cfg.CircuitPlanes {
+		// Gating lowers the per-link circuit cap with the plane count:
+		// one ungated plane must always remain packet-switched.
+		csCap := n.cfg.CircuitPlanes
+		if m := len(op.planes) - 1; csCap > m {
+			csCap = m
+		}
+		if picked < 0 || owned >= csCap {
 			n.Stats.SetupsFailed++
 			return false
 		}
