@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"math"
+	"os"
 	"testing"
 
 	"tdmnoc/hsnoc"
@@ -20,7 +22,7 @@ var tinySpec = spec{
 // consumer (CI artifact diffing, EXPERIMENTS.md tables) keys on.
 func TestReportJSONSchema(t *testing.T) {
 	r := Report{
-		Schema:     "tdmnoc-bench/v3",
+		Schema:     "tdmnoc-bench/v4",
 		GoVersion:  "go-test",
 		GOMAXPROCS: 1,
 		Quick:      true,
@@ -29,6 +31,7 @@ func TestReportJSONSchema(t *testing.T) {
 		Traced:     []TracedScenario{measureTraced(tinySpec, 200, 100)},
 		Parity:     []TracedParity{checkParity(tinySpec, 200, "")},
 		Digests:    []DigestCheck{checkDigest(tinySpec, 200)},
+		LargeMesh:  measureLargeMesh([]largeMeshSize{{4, 4, 200, 100, 100, true}}, []int{1, 2}),
 		Parallel: []ParallelPoint{{
 			Name: "smoke-scale", Width: 4, Height: 4, Workers: 2,
 			NsPerCycle: 1, SerialNs: 2, Speedup: 2,
@@ -44,10 +47,10 @@ func TestReportJSONSchema(t *testing.T) {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
-	if got := doc["schema"]; got != "tdmnoc-bench/v3" {
-		t.Fatalf("schema = %v, want tdmnoc-bench/v3", got)
+	if got := doc["schema"]; got != "tdmnoc-bench/v4" {
+		t.Fatalf("schema = %v, want tdmnoc-bench/v4", got)
 	}
-	for _, key := range []string{"go_version", "gomaxprocs", "quick", "generated_at", "scenarios", "traced_parity", "determinism", "parallel"} {
+	for _, key := range []string{"go_version", "gomaxprocs", "quick", "generated_at", "scenarios", "traced_parity", "determinism", "parallel", "large_mesh"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("report missing top-level key %q", key)
 		}
@@ -61,7 +64,8 @@ func TestReportJSONSchema(t *testing.T) {
 	for _, key := range []string{
 		"name", "figure", "width", "height", "mode", "pattern", "rate",
 		"warmup_cycles", "measured_cycles",
-		"ns_per_cycle", "allocs_per_cycle", "bytes_per_cycle", "hot_path_zero_alloc",
+		"ns_per_cycle", "allocs_per_cycle", "bytes_per_cycle",
+		"resident_bytes", "bytes_per_router", "hot_path_zero_alloc",
 	} {
 		if _, ok := sc[key]; !ok {
 			t.Errorf("scenario missing key %q", key)
@@ -159,6 +163,27 @@ func TestReportJSONSchema(t *testing.T) {
 	}
 	if d["invariants_ok"] != true {
 		t.Error("invariant violations on the smoke config")
+	}
+
+	largeMesh, ok := doc["large_mesh"].([]any)
+	if !ok || len(largeMesh) != 2 {
+		t.Fatalf("large_mesh = %v, want the {1,2} worker matrix", doc["large_mesh"])
+	}
+	for i, raw := range largeMesh {
+		lp := raw.(map[string]any)
+		for _, key := range []string{
+			"name", "width", "height", "workers", "ns_per_cycle", "allocs_per_cycle",
+			"resident_bytes", "bytes_per_router", "serial_ns_per_cycle", "speedup",
+			"speedup_measurable", "digest_checked", "digest_match",
+		} {
+			if _, ok := lp[key]; !ok {
+				t.Errorf("large-mesh point %d missing key %q", i, key)
+			}
+		}
+		if lp["digest_checked"] != true || lp["digest_match"] != true {
+			t.Errorf("large-mesh point %d: digest_checked=%v digest_match=%v on the smoke config",
+				i, lp["digest_checked"], lp["digest_match"])
+		}
 	}
 }
 
@@ -266,6 +291,75 @@ func TestBaselineViolations(t *testing.T) {
 	v := baselineViolations(now, base, 0.15)
 	if len(v) != 1 {
 		t.Fatalf("violations = %v, want exactly the fig4 regression", v)
+	}
+}
+
+// TestStrictLargeMeshGates pins the large-mesh gate logic: every point
+// is gated on the zero-alloc budget; digest divergence fails only where
+// a digest pass actually ran (the bigger sizes record a serial digest
+// but skip the per-worker matrix).
+func TestStrictLargeMeshGates(t *testing.T) {
+	clean := Report{LargeMesh: []LargeMeshPoint{
+		{Scenario: Scenario{Name: "a", HotPathZeroAlloc: true}, Workers: 1, DigestChecked: true, DigestMatch: true},
+		{Scenario: Scenario{Name: "a", HotPathZeroAlloc: true}, Workers: 8},
+	}}
+	if v := strictViolations(clean); len(v) != 0 {
+		t.Fatalf("clean large-mesh report flagged: %v", v)
+	}
+	bad := Report{LargeMesh: []LargeMeshPoint{
+		{Scenario: Scenario{Name: "a", AllocsPerCycle: 0.3}, Workers: 1},
+		{Scenario: Scenario{Name: "a", HotPathZeroAlloc: true}, Workers: 8, DigestChecked: true, DigestMatch: false},
+	}}
+	if v := strictViolations(bad); len(v) != 2 {
+		t.Fatalf("violations = %v, want the alloc + digest entries", v)
+	}
+}
+
+// TestBuildPrelayout pins the old-layout join: points match by mesh
+// size against the serial row, improvements are fractional ("0.2 =
+// 20% faster / smaller"), and sizes missing from either side are
+// skipped rather than invented.
+func TestBuildPrelayout(t *testing.T) {
+	old := `{
+		"schema": "tdmnoc-bench-oldlayout/v1",
+		"note": "test capture",
+		"largemesh": [
+			{"name": "large-tdm-8x8-tornado-0.20", "width": 8, "height": 8,
+			 "ns_per_cycle": 1000, "resident_bytes": 4000, "digest": "0xabc"},
+			{"name": "large-tdm-16x16-tornado-0.20", "width": 16, "height": 16,
+			 "ns_per_cycle": 9000, "resident_bytes": 9000, "digest": "0xdef"}
+		]
+	}`
+	path := t.TempDir() + "/old.json"
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := Report{LargeMesh: []LargeMeshPoint{
+		{Scenario: Scenario{Width: 8, Height: 8, NsPerCycle: 800, ResidentBytes: 1000}, Workers: 1, Digest: "0xabc"},
+		{Scenario: Scenario{Width: 8, Height: 8, NsPerCycle: 500, ResidentBytes: 1000}, Workers: 8, Digest: "0xabc"},
+	}}
+	p, err := buildPrelayout(r, path)
+	if err != nil {
+		t.Fatalf("buildPrelayout: %v", err)
+	}
+	if p.Note != "test capture" || p.Source != path {
+		t.Errorf("note/source = %q/%q", p.Note, p.Source)
+	}
+	if len(p.Points) != 1 {
+		t.Fatalf("points = %+v, want only the 8x8 join (16x16 has no new-layout row)", p.Points)
+	}
+	pp := p.Points[0]
+	if pp.NewNsPerCycle != 800 {
+		t.Errorf("joined the w=%d row? new ns/cycle = %v, want the serial 800", 8, pp.NewNsPerCycle)
+	}
+	if got, want := pp.NsImprovement, 0.2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("ns improvement = %v, want %v", got, want)
+	}
+	if got, want := pp.BytesImprovement, 0.75; math.Abs(got-want) > 1e-9 {
+		t.Errorf("bytes improvement = %v, want %v", got, want)
+	}
+	if !pp.DigestMatch {
+		t.Error("matching digests reported as mismatch")
 	}
 }
 

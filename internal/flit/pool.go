@@ -180,6 +180,23 @@ func (s *SharedPool) Free() int {
 // from the first measured cycle instead of asymptotically.
 const refPoolPrewarm = 64
 
+// maxPrewarmPackets caps the network-wide prewarm stock (per-NI prewarm
+// times area). The sqrt-scaled per-NI prewarm times a quadratically
+// growing tile count is super-linear in area: on a 128x128 mesh the
+// uncapped formula would prewarm ~35 M packets (tens of GB) before the
+// first cycle. Above the cap, the per-NI prewarm shrinks to its fair
+// share of the budget and the free lists grow organically from returned
+// packets instead — trading a bounded number of ramp-up allocations for
+// a construction footprint that stays linear in area. The cap only
+// engages beyond ~45x45 meshes, so every tuned miniature (and the 32x32
+// zero-alloc gate) keeps the exact historical depths.
+const maxPrewarmPackets = 1 << 21
+
+// flitQuantum is ExplodeInto's capacity rounding unit; prewarmed
+// packets pre-size their embedded flit storage to it so even a packet's
+// first explosion allocates nothing.
+const flitQuantum = 8
+
 // NewPool returns a pre-warmed pool with depths scaled for a mesh of
 // the given area (tile count). A non-nil overflow links the pool into
 // a shared second tier; nil keeps the pool standalone.
@@ -195,23 +212,42 @@ func NewPool(overflow *SharedPool, area int) *Pool {
 	if prewarm < refPoolPrewarm {
 		prewarm = refPoolPrewarm
 	}
-	cap := scalePool(refPoolCap, area)
-	if cap < prewarm {
-		cap = prewarm + poolBatch
+	listCap := scalePool(refPoolCap, area)
+	if budget := maxPrewarmPackets / area; prewarm > budget {
+		// Very large mesh: bound construction memory (see
+		// maxPrewarmPackets). The list capacity shrinks with the prewarm —
+		// an area-scaled backing array of pointers would itself cost GBs
+		// across all NIs — at the price of a rare amortised append growth
+		// when a list outgrows it.
+		prewarm = max(budget, poolBatch)
+		listCap = min(listCap, 4*prewarm)
+	}
+	if listCap < prewarm {
+		listCap = prewarm + poolBatch
 	}
 	p := &Pool{
-		free:      make([]*Packet, prewarm, cap),
-		cap:       cap,
+		free:      make([]*Packet, prewarm, listCap),
+		cap:       listCap,
 		spillMark: spillMark,
 		overflow:  overflow,
 	}
 	if overflow != nil {
 		p.scratch = make([]*Packet, 0, poolBatch)
 	}
-	for i := range p.free {
-		// Pre-size the embedded flit storage to ExplodeInto's rounding
-		// quantum so even a packet's first explosion allocates nothing.
-		p.free[i] = &Packet{store: make([]Flit, 0, 8), ptrs: make([]*Flit, 0, 8)}
+	// Block-allocate the prewarm stock: one Packet slab plus contiguous
+	// flit storage, carved per packet with full-capacity slices. The old
+	// per-packet allocations scattered the stock across the heap and
+	// tripled the object count the GC must walk; a packet that later
+	// outgrows its quantum reallocates its storage out of the slab
+	// harmlessly (ExplodeInto replaces, never appends past capacity).
+	pkts := make([]Packet, prewarm)
+	store := make([]Flit, prewarm*flitQuantum)
+	ptrs := make([]*Flit, prewarm*flitQuantum)
+	for i := range pkts {
+		o := i * flitQuantum
+		pkts[i].store = store[o : o : o+flitQuantum]
+		pkts[i].ptrs = ptrs[o : o : o+flitQuantum]
+		p.free[i] = &pkts[i]
 	}
 	return p
 }

@@ -1,0 +1,80 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"tdmnoc/internal/topology"
+)
+
+// TablesArena block-allocates the slot-table state of a group of routers
+// out of contiguous slabs: one RouterTables value, NumPorts SlotTable
+// values, their entry rows and the reverse output indexes per router,
+// all carved from arrays sized once at construction. A router's slot
+// state is the hottest per-cycle hybrid structure (the demux consults it
+// for every arrival), and at large mesh sizes the per-router heap
+// objects of the old layout scattered it across the heap; the arena
+// keeps one executor partition's tables adjacent in memory.
+//
+// Carved slices use full-capacity (three-index) expressions, so an
+// out-of-contract append can never bleed into a neighbouring router's
+// rows.
+type TablesArena struct {
+	tables   []RouterTables
+	slots    []SlotTable
+	entries  []SlotEntry
+	outBusy  [][topology.NumPorts]bool
+	outGrace [][topology.NumPorts]int64
+	outOwner [][topology.NumPorts]topology.Port
+	capacity int
+	active   int
+	used     int
+}
+
+// NewTablesArena creates an arena with room for count routers' tables,
+// each with the given per-input-port capacity and initial active size.
+func NewTablesArena(count, capacity, active int) *TablesArena {
+	if count <= 0 {
+		panic(fmt.Sprintf("hybrid: invalid arena count %d", count))
+	}
+	if capacity <= 0 || active <= 0 || active > capacity {
+		panic(fmt.Sprintf("hybrid: invalid slot table sizes capacity=%d active=%d", capacity, active))
+	}
+	np := int(topology.NumPorts)
+	return &TablesArena{
+		tables:   make([]RouterTables, count),
+		slots:    make([]SlotTable, count*np),
+		entries:  make([]SlotEntry, count*np*capacity),
+		outBusy:  make([][topology.NumPorts]bool, count*capacity),
+		outGrace: make([][topology.NumPorts]int64, count*capacity),
+		outOwner: make([][topology.NumPorts]topology.Port, count*capacity),
+		capacity: capacity,
+		active:   active,
+	}
+}
+
+// New carves the next router's tables from the arena. The returned
+// pointer is stable for the arena's lifetime. Panics when the arena is
+// exhausted (a construction-time sizing bug).
+func (a *TablesArena) New() *RouterTables {
+	if a.used >= len(a.tables) {
+		panic(fmt.Sprintf("hybrid: arena exhausted after %d routers", a.used))
+	}
+	i := a.used
+	a.used++
+	np := int(topology.NumPorts)
+	rt := &a.tables[i]
+	rt.active = a.active
+	rt.ReserveCap = DefaultReserveCap
+	for p := 0; p < np; p++ {
+		st := &a.slots[i*np+p]
+		off := (i*np + p) * a.capacity
+		st.entries = a.entries[off : off+a.capacity : off+a.capacity]
+		st.active = a.active
+		rt.in[p] = st
+	}
+	off := i * a.capacity
+	rt.outBusy = a.outBusy[off : off+a.capacity : off+a.capacity]
+	rt.outGrace = a.outGrace[off : off+a.capacity : off+a.capacity]
+	rt.outOwner = a.outOwner[off : off+a.capacity : off+a.capacity]
+	return rt
+}

@@ -148,16 +148,10 @@ type RouterTables struct {
 // DefaultReserveCap is the paper's anti-starvation threshold.
 const DefaultReserveCap = 0.90
 
-// NewRouterTables creates the slot state for one router.
+// NewRouterTables creates the slot state for one router (a one-router
+// TablesArena; grouped construction uses the arena directly).
 func NewRouterTables(capacity, active int) *RouterTables {
-	rt := &RouterTables{active: active, ReserveCap: DefaultReserveCap}
-	for p := range rt.in {
-		rt.in[p] = NewSlotTable(capacity, active)
-	}
-	rt.outBusy = make([][topology.NumPorts]bool, capacity)
-	rt.outGrace = make([][topology.NumPorts]int64, capacity)
-	rt.outOwner = make([][topology.NumPorts]topology.Port, capacity)
-	return rt
+	return NewTablesArena(1, capacity, active).New()
 }
 
 // Active returns the powered entry count per input table.

@@ -24,6 +24,9 @@ type Network struct {
 
 	routers []*router.Router
 	nis     []*NI
+	// tileOwner[id] is the worker whose partition ticks tile id (always
+	// 0 when serial); observability handles bind to the owner's shard.
+	tileOwner []int
 
 	// checker is the optional runtime invariant layer (nil unless
 	// cfg.CheckInvariants).
@@ -88,9 +91,34 @@ func New(cfg Config, mk EndpointFactory) *Network {
 	}
 
 	nodes := n.mesh.Nodes()
+
+	// Partition-contiguous construction: the configured sim.Partitioner
+	// decides which tiles each worker owns, and each partition's routers
+	// and NIs are carved from that partition's own arenas — a worker's
+	// per-cycle working set is contiguous in memory, and two partitions
+	// never share a cache line because they never share an allocation.
+	// The partition choice can never change results: the phase contract
+	// (see sim.Phase) makes tick order within a phase unobservable, and
+	// everything order-sensitive at construction (RNG forking, endpoint
+	// factory calls) runs in node-id order below regardless of layout.
+	partitioner, err := sim.PartitionerByName(cfg.Partition)
+	if err != nil {
+		panic(err.Error()) // unreachable: validate() checked the name
+	}
+	parts := partitioner.Partition(cfg.Width, cfg.Height, cfg.Workers)
+	order, spans := sim.PartitionSpans(parts, 2)
+
 	n.routers = make([]*router.Router, nodes)
-	for id := 0; id < nodes; id++ {
-		n.routers[id] = router.New(topology.NodeID(id), n.mesh, n.cfg.Router)
+	n.tileOwner = make([]int, nodes)
+	for wi, ids := range parts {
+		if len(ids) == 0 {
+			continue
+		}
+		arena := router.NewArena(len(ids), n.cfg.Router)
+		for _, id := range ids {
+			n.routers[id] = arena.New(topology.NodeID(id), n.mesh)
+			n.tileOwner[id] = wi
+		}
 	}
 	for id := 0; id < nodes; id++ {
 		for _, p := range []topology.Port{topology.North, topology.East, topology.South, topology.West} {
@@ -100,27 +128,39 @@ func New(cfg Config, mk EndpointFactory) *Network {
 		}
 	}
 
+	// RNG streams and endpoints are created in node-id order regardless
+	// of the partition layout, so no layout or worker count can change
+	// the stream any tile sees.
 	master := sim.NewRNG(cfg.Seed)
-	n.nis = make([]*NI, nodes)
+	rngs := make([]*sim.RNG, nodes)
+	eps := make([]Endpoint, nodes)
 	for id := 0; id < nodes; id++ {
-		var ep Endpoint
+		rngs[id] = master.Fork()
 		if mk != nil {
-			ep = mk(topology.NodeID(id))
+			eps[id] = mk(topology.NodeID(id))
 		}
-		n.nis[id] = newNI(topology.NodeID(id), n, n.routers[id], master.Fork(), ep)
 	}
 
-	// Tickers are interleaved per tile (router_i, NI_i) and the executor
-	// aligns its chunk boundaries to that pair, so a parallel worker owns
-	// whole tiles — the router and NI of one tile share most of their
-	// working set (latches, local link, DLT events). Order within a phase
-	// is irrelevant for results: the phase contract (see sim.Phase)
-	// guarantees tickers touch disjoint state inside a phase.
+	n.nis = make([]*NI, nodes)
+	for _, ids := range parts {
+		if len(ids) == 0 {
+			continue
+		}
+		arena := newNIArena(len(ids), cfg.Router.VCs, cfg.InjectRingCap)
+		for _, id := range ids {
+			n.nis[id] = arena.newNI(topology.NodeID(id), n, n.routers[id], rngs[id], eps[id])
+		}
+	}
+
+	// Tickers are interleaved per tile (router_i, NI_i) in partition
+	// order — matching the slab layout, so a worker walks its span of
+	// the ticker slice in the same order its state sits in memory — and
+	// the executor receives the partitioner's exact per-worker spans.
 	tickers := make([]sim.Ticker, 0, 2*nodes)
-	for id := 0; id < nodes; id++ {
+	for _, id := range order {
 		tickers = append(tickers, n.routers[id], n.nis[id])
 	}
-	n.exec = sim.NewExecutorAligned(&n.clock, tickers, cfg.Workers, 2)
+	n.exec = sim.NewExecutorSpans(&n.clock, tickers, spans)
 	if cfg.AlwaysTick {
 		n.exec.SetAlwaysTick(true)
 	}

@@ -185,6 +185,10 @@ type NI struct {
 	// Circuit-switched injection.
 	circuits    map[topology.NodeID]*circuit
 	circuitList []*circuit
+	// circuitFree recycles torn-down circuit records (and their blocks
+	// capacity): steady-state idle-teardown/re-setup churn must not
+	// allocate, for the same reason the packet pools exist.
+	circuitFree []*circuit
 	csJobs      []csJob
 	csCur       []*flit.Flit
 	csIdx       int
@@ -223,18 +227,61 @@ type NI struct {
 	seq uint64
 }
 
-func newNI(id topology.NodeID, net *Network, r *router.Router, rng *sim.RNG, ep Endpoint) *NI {
-	ni := &NI{
-		id: id, net: net, r: r, rng: rng, ep: ep,
-		credits:     make([]int, net.cfg.Router.VCs),
-		vcBusy:      make([]bool, net.cfg.Router.VCs),
-		circuits:    make(map[topology.NodeID]*circuit),
-		pending:     make(map[topology.NodeID]setupState),
-		hitchQueued: make(map[topology.NodeID]int),
-		backoff:     make(map[topology.NodeID]sim.Cycle),
-		freq:        make(map[topology.NodeID]int),
-		rxCount:     make(map[uint64]int),
+// niArena block-allocates the NIs of one executor partition and their
+// per-VC injection state (credit counters, VC-busy bitmaps) out of
+// contiguous slabs, mirroring router.Arena: one partition's NI values
+// live adjacent to each other, and separate per-partition arenas keep
+// two workers' hot state off shared cache lines. Map-backed protocol
+// state (circuits, pending setups, frequency counters) stays per-NI —
+// maps cannot be carved from a slab — but those are touched on setup
+// events, not every cycle.
+type niArena struct {
+	nis     []NI
+	credits []int
+	vcBusy  []bool
+	rings   []*flit.Packet
+	vcs     int
+	ringCap int
+	used    int
+}
+
+func newNIArena(count, vcs, ringCap int) *niArena {
+	a := &niArena{
+		nis:     make([]NI, count),
+		credits: make([]int, count*vcs),
+		vcBusy:  make([]bool, count*vcs),
+		vcs:     vcs,
+		ringCap: ringCap,
 	}
+	if ringCap > 0 {
+		a.rings = make([]*flit.Packet, count*ringCap)
+	}
+	return a
+}
+
+// newNI carves the next NI from the arena and initialises it. The
+// returned pointer is stable for the arena's lifetime.
+func (a *niArena) newNI(id topology.NodeID, net *Network, r *router.Router, rng *sim.RNG, ep Endpoint) *NI {
+	ni := &a.nis[a.used]
+	off := a.used * a.vcs
+	a.used++
+	ni.id, ni.net, ni.r, ni.rng, ni.ep = id, net, r, rng, ep
+	ni.credits = a.credits[off : off+a.vcs : off+a.vcs]
+	ni.vcBusy = a.vcBusy[off : off+a.vcs : off+a.vcs]
+	if a.ringCap > 0 {
+		// Pre-sized injection ring from the arena slab. The ring indexes
+		// modulo len(buf), so the carved slice keeps its full length; if
+		// the backlog ever outgrows it, grow() reallocates away from the
+		// slab without disturbing the neighbours.
+		ro := (a.used - 1) * a.ringCap
+		ni.psQ.buf = a.rings[ro : ro+a.ringCap : ro+a.ringCap]
+	}
+	ni.circuits = make(map[topology.NodeID]*circuit)
+	ni.pending = make(map[topology.NodeID]setupState)
+	ni.hitchQueued = make(map[topology.NodeID]int)
+	ni.backoff = make(map[topology.NodeID]sim.Cycle)
+	ni.freq = make(map[topology.NodeID]int)
+	ni.rxCount = make(map[uint64]int)
 	if net.cfg.PoolMessages {
 		ni.pool = flit.NewPool(net.sharedPool, net.mesh.Nodes())
 	}
@@ -494,13 +541,13 @@ func (ni *NI) handleAck(now sim.Cycle, pkt *flit.Packet) {
 			return
 		}
 		delete(ni.pending, dst)
-		c := &circuit{
-			dst:    dst,
-			blocks: []circuitBlock{{baseSlot: pkt.Config.BaseSlot}},
-			dur:    pkt.Config.Duration,
-			epoch:  pkt.Config.Epoch, hops: ni.net.mesh.HopDistance(ni.id, dst),
-			lastUsed: now,
-		}
+		c := ni.newCircuit()
+		c.dst = dst
+		c.blocks = append(c.blocks, circuitBlock{baseSlot: pkt.Config.BaseSlot})
+		c.dur = pkt.Config.Duration
+		c.epoch = pkt.Config.Epoch
+		c.hops = ni.net.mesh.HopDistance(ni.id, dst)
+		c.lastUsed = now
 		ni.circuits[dst] = c
 		ni.circuitList = append(ni.circuitList, c)
 		ni.Stats.SetupsOK++
@@ -794,6 +841,7 @@ func (ni *NI) teardownIdlest(now sim.Cycle) bool {
 	for _, b := range victim.blocks {
 		ni.sendTeardown(victim.dst, b.baseSlot, victim.dur, victim.epoch)
 	}
+	ni.circuitFree = append(ni.circuitFree, victim)
 	ni.Stats.CircuitsTorndown++
 	return true
 }
@@ -816,6 +864,22 @@ func (ni *NI) removeCircuit(listIdx int) {
 	c := ni.circuitList[listIdx]
 	delete(ni.circuits, c.dst)
 	ni.circuitList = append(ni.circuitList[:listIdx], ni.circuitList[listIdx+1:]...)
+}
+
+// newCircuit returns a reset circuit record, recycled from circuitFree
+// when possible so the record and its blocks backing array are reused.
+func (ni *NI) newCircuit() *circuit {
+	if n := len(ni.circuitFree); n > 0 {
+		c := ni.circuitFree[n-1]
+		ni.circuitFree[n-1] = nil
+		ni.circuitFree = ni.circuitFree[:n-1]
+		*c = circuit{blocks: c.blocks[:0]}
+		return c
+	}
+	// Full blocks capacity up front: handleAck never grows past
+	// MaxBlocksPerCircuit, so the record's appends stay growth-free for
+	// the rest of its (recycled) life.
+	return &circuit{blocks: make([]circuitBlock, 0, ni.net.cfg.MaxBlocksPerCircuit)}
 }
 
 // sendSetup emits a setup message toward dst with a fresh random slot id.
@@ -1103,6 +1167,11 @@ func (ni *NI) onResize() {
 	clear(ni.csJobs)
 	ni.csJobs = ni.csJobs[:0]
 	clear(ni.circuits)
+	for _, c := range ni.circuitList {
+		if c != nil {
+			ni.circuitFree = append(ni.circuitFree, c)
+		}
+	}
 	ni.circuitList = ni.circuitList[:0]
 	clear(ni.pending)
 	clear(ni.hitchQueued)

@@ -41,14 +41,13 @@ func (n *Network) AttachProbe(rec *obs.Recorder, sampleEvery int) {
 	n.control = rec.ControlHandle()
 	n.probeEvery = int64(sampleEvery)
 	for id, r := range n.routers {
-		// Tickers are interleaved (router_i, ni_i) with tile-aligned
-		// partitions, so ticker index 2*id resolves the tile's owner; the
+		// tileOwner records which worker's partition ticks each tile; the
 		// router and NI of a tile share that worker but get separate
 		// handles (ring-sampling counters are per-emitter).
-		r.SetProbe(rec.Handle(n.exec.Owner(2 * id)))
+		r.SetProbe(rec.Handle(n.tileOwner[id]))
 	}
 	for id, ni := range n.nis {
-		ni.probe = rec.Handle(n.exec.Owner(2 * id))
+		ni.probe = rec.Handle(n.tileOwner[id])
 	}
 	n.resizer.SetProbe(n.control)
 }

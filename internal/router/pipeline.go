@@ -202,7 +202,25 @@ func (r *Router) dataRoute(pkt *flit.Packet) topology.Port {
 	if pkt.Kind == flit.AckMsg && r.cfg.AdaptiveConfigRouting {
 		return routing.WestFirst(r.mesh, r.id, pkt.Dst, r.congestion)
 	}
-	return r.xyTo[pkt.Dst]
+	return r.xyPort(pkt.Dst)
+}
+
+// xyPort is the RC stage's dimension-order function: the output port X-Y
+// routing takes toward dst, computed from the router's cached
+// coordinates. Semantically identical to routing.XY(r.mesh, r.id, dst).
+func (r *Router) xyPort(dst topology.NodeID) topology.Port {
+	dx, dy := int(dst)%r.mesh.Width, int(dst)/r.mesh.Width
+	switch {
+	case dx > r.selfX:
+		return topology.East
+	case dx < r.selfX:
+		return topology.West
+	case dy > r.selfY:
+		return topology.South
+	case dy < r.selfY:
+		return topology.North
+	}
+	return topology.Local
 }
 
 // congestion scores an output port for adaptive routing: fewer free
@@ -233,7 +251,7 @@ func (r *Router) processSetup(now sim.Cycle, p topology.Port, vc *inputVC, f *fl
 	case r.cfg.AdaptiveConfigRouting:
 		out = routing.WestFirst(r.mesh, r.id, pkt.Dst, r.congestion)
 	default:
-		out = r.xyTo[pkt.Dst]
+		out = r.xyPort(pkt.Dst)
 	}
 	ok := r.tables != nil && cfgp.Epoch == r.Epoch &&
 		r.tables.Reserve(p, out, cfgp.Slot, cfgp.Duration, int64(now))
@@ -350,23 +368,24 @@ func (r *Router) convertToAck(now sim.Cycle, vc *inputVC, f *flit.Flit, ok bool)
 }
 
 // vcAllocate is the VA stage: a separable allocator that matches waiting
-// head packets to free downstream VCs, round-robin on both sides. The
-// fast path below skips the whole allocation sweep when no input VC is
-// waiting for a VC — by far the common case in a steady-state cycle —
-// without touching the arbitration order of the full sweep, which must
-// stay bit-identical (round-robin pointer movement is simulation state).
+// head packets to free downstream VCs, round-robin on both sides. One
+// full pass over the input VCs builds a per-output census of ready
+// waiters; the allocation sweep then touches only outputs with at least
+// one candidate and stops each output's scan as soon as its last
+// candidate has been granted. The census changes no arbitration
+// decision — the iterations it skips could only ever probe
+// non-matching VCs — so round-robin pointer movement (which is
+// simulation state) stays bit-identical to the exhaustive sweep.
 func (r *Router) vcAllocate(now sim.Cycle) {
+	var want [topology.NumPorts]int16
 	waiting := false
 	for p := range r.in {
 		for v := range r.in[p].vcs {
 			vc := &r.in[p].vcs[v]
 			if vc.state == vcVCAlloc && vc.ready <= now {
+				want[vc.route]++
 				waiting = true
-				break
 			}
-		}
-		if waiting {
-			break
 		}
 	}
 	if !waiting {
@@ -374,6 +393,9 @@ func (r *Router) vcAllocate(now sim.Cycle) {
 	}
 	n := int(topology.NumPorts) * r.cfg.VCs
 	for o := topology.Port(0); o < topology.NumPorts; o++ {
+		if want[o] == 0 {
+			continue
+		}
 		ou := &r.out[o]
 		if !ou.connected {
 			continue
@@ -423,6 +445,9 @@ func (r *Router) vcAllocate(now sim.Cycle) {
 					Node: int32(r.id), A: uint8(p), B: uint8(o), Val: int64(got)})
 			}
 			ou.rrVA = (idx + 1) % n
+			if want[o]--; want[o] == 0 {
+				break
+			}
 		}
 	}
 }
@@ -459,20 +484,23 @@ func (r *Router) csBlocked(now sim.Cycle, o topology.Port) bool {
 func (r *Router) switchAllocate(now sim.Cycle) bool {
 	// Fast path: if no input VC is active with a flit ready, the request
 	// phase below cannot produce a winner and the whole function is a
-	// no-op — skip the iSLIP iterations entirely. This is a superset test
-	// (credits, CS blocking and output conflicts only reduce the match
-	// further), so skipping cannot change results.
+	// no-op — skip the iSLIP iterations entirely. The per-input
+	// eligibility mask is a superset test (credits, CS blocking and
+	// output conflicts only reduce the match further), and it stays
+	// valid across iterations: a grant changes only the matched input's
+	// VC, and matched inputs are skipped anyway — so skipping a
+	// mask-false input can never change results or move a round-robin
+	// pointer.
+	var eligIn [topology.NumPorts]bool
 	eligible := false
 	for p := range r.in {
 		for v := range r.in[p].vcs {
 			vc := &r.in[p].vcs[v]
 			if vc.state == vcActive && vc.ready <= now && !vc.empty() {
+				eligIn[p] = true
 				eligible = true
 				break
 			}
-		}
-		if eligible {
-			break
 		}
 	}
 	if !eligible {
@@ -494,7 +522,7 @@ func (r *Router) switchAllocate(now sim.Cycle) bool {
 		var winnerVC [topology.NumPorts]int
 		any := false
 		for p := topology.Port(0); p < topology.NumPorts; p++ {
-			if inputMatched[p] {
+			if inputMatched[p] || !eligIn[p] {
 				continue
 			}
 			iu := &r.in[p]

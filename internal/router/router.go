@@ -7,7 +7,6 @@ import (
 	"tdmnoc/internal/hybrid"
 	"tdmnoc/internal/obs"
 	"tdmnoc/internal/power"
-	"tdmnoc/internal/routing"
 	"tdmnoc/internal/sim"
 	"tdmnoc/internal/topology"
 )
@@ -44,10 +43,13 @@ type Router struct {
 	// path never grows it.
 	pendingCredits []creditMsg
 
-	// xyTo[dst] is the precomputed X-Y output port toward every node —
-	// the RC stage's table lookup, replacing per-flit coordinate
-	// arithmetic.
-	xyTo []topology.Port
+	// selfX, selfY cache this router's mesh coordinates for the RC
+	// stage's X-Y comparison (see xyPort). An earlier layout precomputed
+	// a per-router port-toward-every-node table instead; its O(N²)
+	// aggregate footprint (256 MiB of route tables on a 128x128 mesh)
+	// made large meshes cache- and memory-bound before a single flit
+	// moved.
+	selfX, selfY int
 
 	// Hybrid state (nil unless cfg.Hybrid).
 	tables *hybrid.RouterTables
@@ -112,51 +114,12 @@ type Router struct {
 	probe *obs.Handle
 }
 
-// New creates a router for node id on mesh m. The caller wires neighbours
-// with Connect and attaches the NI credit sink with AttachLocal.
+// New creates a router for node id on mesh m (a one-router Arena; the
+// network builds whole partitions through an Arena directly). The caller
+// wires neighbours with Connect and attaches the NI credit sink with
+// AttachLocal.
 func New(id topology.NodeID, m topology.Mesh, cfg Config) *Router {
-	cfg.validate()
-	r := &Router{
-		id: id, mesh: m, cfg: cfg,
-		activeVCs: cfg.VCs, pendingVCs: cfg.VCs, publishedVCLimit: cfg.VCs,
-		pendingCredits: make([]creditMsg, 0, topology.NumPorts),
-		xyTo:           make([]topology.Port, m.Nodes()),
-	}
-	for n := topology.NodeID(0); int(n) < m.Nodes(); n++ {
-		r.xyTo[n] = routing.XY(m, id, n)
-	}
-	for p := range r.in {
-		r.in[p].vcs = make([]inputVC, cfg.VCs)
-		for v := range r.in[p].vcs {
-			// Preallocate each VC queue to its credit-bounded maximum so
-			// push never grows it mid-simulation.
-			r.in[p].vcs[v].q = make([]*flit.Flit, 0, cfg.BufDepth)
-		}
-	}
-	for p := range r.out {
-		r.out[p].credits = make([]int, cfg.VCs)
-		r.out[p].vcFree = make([]bool, cfg.VCs)
-		for v := 0; v < cfg.VCs; v++ {
-			r.out[p].credits[v] = cfg.BufDepth
-			r.out[p].vcFree[v] = true
-		}
-	}
-	r.out[topology.Local].connected = true
-	if cfg.Hybrid {
-		r.tables = hybrid.NewRouterTables(cfg.SlotCapacity, cfg.SlotActive)
-		r.dltEvents = make([]DLTEvent, 0, topology.NumPorts)
-	}
-	if cfg.LatencyVCGating {
-		r.latGate = hybrid.DefaultLatencyVCGate(cfg.VCs)
-	} else if cfg.VCGating {
-		r.gate = hybrid.DefaultVCGate(cfg.VCs)
-	}
-	// A gating router mutates observation state (and possibly activeVCs)
-	// every compute tick, so its ticks are never state no-ops and it must
-	// not be skipped.
-	r.canSleep = r.gate == nil && r.latGate == nil
-	r.meter.LinkChannels = 1 // local ejection channel; Connect adds more
-	return r
+	return NewArena(1, cfg).New(id, m)
 }
 
 // SchedState implements sim.ActiveTicker.

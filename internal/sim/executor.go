@@ -101,6 +101,45 @@ func NewExecutorAligned(clock *Clock, tickers []Ticker, workers, align int) *Exe
 	if align < 1 {
 		align = 1
 	}
+	n := len(tickers)
+	spans := make([]Span, workers)
+	if workers == 1 {
+		spans[0] = Span{Lo: 0, Hi: n}
+	} else {
+		chunk := (n + workers - 1) / workers
+		chunk = (chunk + align - 1) / align * align
+		for i := range spans {
+			lo := min(i*chunk, n)
+			spans[i] = Span{Lo: lo, Hi: min(lo+chunk, n)}
+		}
+	}
+	return NewExecutorSpans(clock, tickers, spans)
+}
+
+// Span is one worker's half-open range [Lo, Hi) over the ticker slice.
+type Span struct{ Lo, Hi int }
+
+// NewExecutorSpans creates an executor whose per-worker partitions are
+// given explicitly — one span per worker, worker 0 first. Spans must be
+// ascending, contiguous, and cover the ticker slice exactly; anything
+// else is a construction-time bug and panics. Callers that lay tickers
+// out partition-contiguously (see sim.Partitioner) use this to hand the
+// executor the matching spans instead of having it re-derive chunks.
+func NewExecutorSpans(clock *Clock, tickers []Ticker, spans []Span) *Executor {
+	if len(spans) == 0 {
+		spans = []Span{{Lo: 0, Hi: len(tickers)}}
+	}
+	at := 0
+	for i, s := range spans {
+		if s.Lo != at || s.Hi < s.Lo {
+			panic(fmt.Sprintf("sim: span %d is [%d,%d), want to start at %d", i, s.Lo, s.Hi, at))
+		}
+		at = s.Hi
+	}
+	if at != len(tickers) {
+		panic(fmt.Sprintf("sim: spans cover [0,%d), want [0,%d)", at, len(tickers)))
+	}
+	workers := len(spans)
 	e := &Executor{clock: clock, tickers: tickers, workers: workers}
 	for i, t := range tickers {
 		at, ok := t.(ActiveTicker)
@@ -120,13 +159,9 @@ func NewExecutorAligned(clock *Clock, tickers []Ticker, workers, align int) *Exe
 	}
 	e.WakeAll()
 	if workers > 1 {
-		n := len(tickers)
-		chunk := (n + workers - 1) / workers
-		chunk = (chunk + align - 1) / align * align
 		e.parts = make([]partition, workers)
-		for i := range e.parts {
-			lo := min(i*chunk, n)
-			e.parts[i] = partition{lo: lo, hi: min(lo+chunk, n)}
+		for i, s := range spans {
+			e.parts[i] = partition{lo: s.Lo, hi: s.Hi}
 		}
 		e.barrier = newPhaseBarrier(workers)
 		e.wg.Add(workers - 1)

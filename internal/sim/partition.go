@@ -1,0 +1,167 @@
+package sim
+
+import "fmt"
+
+// Partitioner is a named, deterministic strategy for assigning the tiles
+// of a width×height mesh to workers. The executor itself only sees flat
+// ticker spans; a Partitioner decides which tiles land in which span and
+// in what order, which in turn decides both worker ownership (trace
+// shard binding via Executor.Owner) and the memory order of per-tile
+// state when the network lays tickers out partition-contiguously.
+//
+// Determinism contract: Partition must be a pure function of
+// (width, height, workers). The concatenation of the returned lists is a
+// permutation of the row-major tile ids 0..width*height-1, every tile
+// appears exactly once, and the same inputs always produce the same
+// lists in the same order. Simulation results never depend on the
+// choice of partitioner — the two-phase barrier contract makes tick
+// order within a phase unobservable — but traces, profiles and memory
+// layout do, so the function must not consult anything but its
+// arguments.
+type Partitioner interface {
+	// Name identifies the strategy in configs, bench reports and traces.
+	Name() string
+	// Partition returns one tile-id list per worker (some possibly
+	// empty). Tile ids are row-major: id = y*width + x.
+	Partition(width, height, workers int) [][]int
+}
+
+// StridePartitioner reproduces the executor's historical inline
+// assignment: tiles in row-major id order, split into contiguous chunks
+// of ceil(n/workers). Over a ticker slice interleaving two tickers per
+// tile this yields exactly the spans NewExecutorAligned(…, align=2)
+// computed, so "stride" is the A/B control for the block layout.
+type StridePartitioner struct{}
+
+// Name implements Partitioner.
+func (StridePartitioner) Name() string { return "stride" }
+
+// Partition implements Partitioner.
+func (StridePartitioner) Partition(width, height, workers int) [][]int {
+	n := width * height
+	workers = clampWorkers(workers, n)
+	chunk := (n + workers - 1) / workers
+	parts := make([][]int, workers)
+	for wi := range parts {
+		lo := min(wi*chunk, n)
+		hi := min(lo+chunk, n)
+		ids := make([]int, hi-lo)
+		for i := range ids {
+			ids[i] = lo + i
+		}
+		parts[wi] = ids
+	}
+	return parts
+}
+
+// BlockPartitioner assigns each worker a rectangular block of tiles.
+// Workers are arranged in a wx×wy grid chosen to minimize the block
+// semi-perimeter (the cross-worker link surface); width and height are
+// split into balanced contiguous bands. Blocks are numbered row-major
+// over the grid, and each worker's tiles are listed row-major within its
+// block, so a partition-contiguous memory layout keeps every worker's
+// working set spatially compact and confines cross-worker traffic to
+// block perimeters.
+type BlockPartitioner struct{}
+
+// Name implements Partitioner.
+func (BlockPartitioner) Name() string { return "block" }
+
+// Partition implements Partitioner.
+func (BlockPartitioner) Partition(width, height, workers int) [][]int {
+	n := width * height
+	workers = clampWorkers(workers, n)
+	wx, wy := blockGrid(width, height, workers)
+	parts := make([][]int, 0, workers)
+	for by := 0; by < wy; by++ {
+		y0, y1 := bandSplit(height, wy, by)
+		for bx := 0; bx < wx; bx++ {
+			x0, x1 := bandSplit(width, wx, bx)
+			ids := make([]int, 0, (x1-x0)*(y1-y0))
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					ids = append(ids, y*width+x)
+				}
+			}
+			parts = append(parts, ids)
+		}
+	}
+	return parts
+}
+
+// blockGrid factorizes workers into a wx×wy grid. Among all divisor
+// pairs it picks the one minimizing the block semi-perimeter
+// ceil(width/wx)+ceil(height/wy); pairs whose grid physically fits
+// (wx <= width, wy <= height) always beat pairs that would leave empty
+// bands. Ties resolve to the smallest wx, so the choice is a pure
+// function of the arguments.
+func blockGrid(width, height, workers int) (wx, wy int) {
+	wx, wy = 1, workers
+	best := 1 << 60
+	for cx := 1; cx <= workers; cx++ {
+		if workers%cx != 0 {
+			continue
+		}
+		cy := workers / cx
+		cost := (width+cx-1)/cx + (height+cy-1)/cy
+		if cx > width || cy > height {
+			cost += 1 << 30
+		}
+		if cost < best {
+			best = cost
+			wx, wy = cx, cy
+		}
+	}
+	return wx, wy
+}
+
+// bandSplit returns the half-open range [lo, hi) of band b when total is
+// divided into bands balanced contiguous pieces (sizes differ by at most
+// one, larger pieces last).
+func bandSplit(total, bands, b int) (lo, hi int) {
+	return b * total / bands, (b + 1) * total / bands
+}
+
+// clampWorkers caps workers at the tile count (beyond it some workers
+// could never receive a tile) and floors it at 1.
+func clampWorkers(workers, tiles int) int {
+	if workers < 1 {
+		return 1
+	}
+	if workers > tiles {
+		return max(1, tiles)
+	}
+	return workers
+}
+
+// PartitionerByName resolves a config string to a strategy. The empty
+// string selects the default (block — the cache-local layout).
+func PartitionerByName(name string) (Partitioner, error) {
+	switch name {
+	case "", "block":
+		return BlockPartitioner{}, nil
+	case "stride":
+		return StridePartitioner{}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown partitioner %q (want \"stride\" or \"block\")", name)
+	}
+}
+
+// PartitionSpans flattens a Partition result into the tile permutation
+// (the order tiles should be laid out and ticked) and the per-worker
+// ticker spans for a slice holding perTile tickers per tile in that
+// order.
+func PartitionSpans(parts [][]int, perTile int) (order []int, spans []Span) {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	order = make([]int, 0, total)
+	spans = make([]Span, len(parts))
+	for i, p := range parts {
+		lo := len(order) * perTile
+		order = append(order, p...)
+		spans[i] = Span{Lo: lo, Hi: len(order) * perTile}
+	}
+	return order, spans
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+var partitionCases = []struct{ w, h, workers int }{
+	{1, 1, 1}, {2, 2, 1}, {2, 2, 3}, {2, 2, 8},
+	{6, 6, 1}, {6, 6, 2}, {6, 6, 4}, {6, 6, 5},
+	{10, 6, 1}, {10, 6, 2}, {10, 6, 3}, {10, 6, 7}, {10, 6, 8}, {10, 6, 16},
+	{32, 32, 1}, {32, 32, 2}, {32, 32, 4}, {32, 32, 8}, {32, 32, 16},
+	{2, 4, 7}, {3, 1, 2}, {1, 9, 4},
+}
+
+// Every partitioner must cover each tile exactly once, with deterministic
+// output.
+func TestPartitionCoversEveryTileOnce(t *testing.T) {
+	for _, p := range []Partitioner{StridePartitioner{}, BlockPartitioner{}} {
+		for _, c := range partitionCases {
+			parts := p.Partition(c.w, c.h, c.workers)
+			seen := make([]int, c.w*c.h)
+			for _, ids := range parts {
+				for _, id := range ids {
+					if id < 0 || id >= len(seen) {
+						t.Fatalf("%s %dx%d w=%d: tile id %d out of range", p.Name(), c.w, c.h, c.workers, id)
+					}
+					seen[id]++
+				}
+			}
+			for id, n := range seen {
+				if n != 1 {
+					t.Fatalf("%s %dx%d w=%d: tile %d assigned %d times", p.Name(), c.w, c.h, c.workers, id, n)
+				}
+			}
+			if again := p.Partition(c.w, c.h, c.workers); !reflect.DeepEqual(parts, again) {
+				t.Fatalf("%s %dx%d w=%d: Partition is not deterministic", p.Name(), c.w, c.h, c.workers)
+			}
+		}
+	}
+}
+
+// StridePartitioner must reproduce exactly the spans the executor's
+// historical inline chunking computed over an interleaved two-ticker-per-
+// tile slice with align=2, so "stride" is a faithful A/B control for the
+// pre-partitioner worker assignment.
+func TestStrideMatchesLegacyAlignedChunking(t *testing.T) {
+	for _, c := range partitionCases {
+		n := c.w * c.h
+		_, spans := PartitionSpans(StridePartitioner{}.Partition(c.w, c.h, c.workers), 2)
+
+		// Legacy arithmetic from NewExecutorAligned: chunk over 2n tickers,
+		// rounded up to align 2, workers clamped to the ticker count.
+		tickers := 2 * n
+		workers := c.workers
+		if workers > tickers {
+			workers = max(1, tickers)
+		}
+		legacy := make([]Span, 0, workers)
+		if workers == 1 {
+			legacy = append(legacy, Span{0, tickers})
+		} else {
+			chunk := (tickers + workers - 1) / workers
+			chunk = (chunk + 1) / 2 * 2
+			for i := 0; i < workers; i++ {
+				lo := min(i*chunk, tickers)
+				legacy = append(legacy, Span{lo, min(lo+chunk, tickers)})
+			}
+		}
+
+		// The partitioner clamps workers to the tile count (not the ticker
+		// count), so it may emit fewer spans; every span it does emit must
+		// match, and any extra legacy spans must be empty.
+		for i, s := range spans {
+			if i >= len(legacy) {
+				t.Fatalf("%dx%d w=%d: stride emitted %d spans, legacy %d", c.w, c.h, c.workers, len(spans), len(legacy))
+			}
+			if s != legacy[i] {
+				t.Fatalf("%dx%d w=%d: span %d = %+v, legacy %+v", c.w, c.h, c.workers, i, s, legacy[i])
+			}
+		}
+		for _, s := range legacy[len(spans):] {
+			if s.Lo != s.Hi {
+				t.Fatalf("%dx%d w=%d: legacy had extra non-empty span %+v", c.w, c.h, c.workers, s)
+			}
+		}
+	}
+}
+
+// Each block partition must be an exact rectangle, listed row-major.
+func TestBlockPartitionsAreRectangles(t *testing.T) {
+	for _, c := range partitionCases {
+		parts := BlockPartitioner{}.Partition(c.w, c.h, c.workers)
+		for wi, ids := range parts {
+			if len(ids) == 0 {
+				continue
+			}
+			minX, minY := c.w, c.h
+			maxX, maxY := -1, -1
+			for _, id := range ids {
+				x, y := id%c.w, id/c.w
+				minX, minY = min(minX, x), min(minY, y)
+				maxX, maxY = max(maxX, x), max(maxY, y)
+			}
+			bw, bh := maxX-minX+1, maxY-minY+1
+			if len(ids) != bw*bh {
+				t.Fatalf("%dx%d w=%d: worker %d has %d tiles in a %dx%d bounding box", c.w, c.h, c.workers, wi, len(ids), bw, bh)
+			}
+			for i, id := range ids {
+				wantX, wantY := minX+i%bw, minY+i/bw
+				if id != wantY*c.w+wantX {
+					t.Fatalf("%dx%d w=%d: worker %d tile %d is id %d, want row-major %d", c.w, c.h, c.workers, wi, i, id, wantY*c.w+wantX)
+				}
+			}
+		}
+	}
+}
+
+// PartitionSpans must produce contiguous ascending spans that line up
+// with the flattened order, and NewExecutorSpans must accept them and
+// report matching owners.
+func TestPartitionSpansAndExecutorOwners(t *testing.T) {
+	parts := BlockPartitioner{}.Partition(10, 6, 4)
+	order, spans := PartitionSpans(parts, 2)
+	if len(order) != 60 {
+		t.Fatalf("order has %d tiles, want 60", len(order))
+	}
+
+	tickers := make([]Ticker, 2*len(order))
+	for i := range tickers {
+		tickers[i] = tickFn(func(Cycle, Phase) {})
+	}
+	var clock Clock
+	e := NewExecutorSpans(&clock, tickers, spans)
+	defer e.Close()
+	if e.Workers() != len(spans) {
+		t.Fatalf("Workers() = %d, want %d", e.Workers(), len(spans))
+	}
+	for wi, s := range spans {
+		for i := s.Lo; i < s.Hi; i++ {
+			if got := e.Owner(i); got != wi {
+				t.Fatalf("Owner(%d) = %d, want %d", i, got, wi)
+			}
+		}
+	}
+	e.Run(3)
+	if clock.Now() != 3 {
+		t.Fatalf("clock at %d after Run(3)", clock.Now())
+	}
+}
+
+// Malformed spans are construction-time bugs and must panic.
+func TestNewExecutorSpansRejectsBadSpans(t *testing.T) {
+	tickers := []Ticker{tickFn(func(Cycle, Phase) {}), tickFn(func(Cycle, Phase) {})}
+	var clock Clock
+	for _, bad := range [][]Span{
+		{{0, 1}},         // does not cover the slice
+		{{0, 1}, {0, 2}}, // overlapping
+		{{1, 2}},         // does not start at 0
+		{{0, 3}},         // past the end
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("spans %+v did not panic", bad)
+				}
+			}()
+			NewExecutorSpans(&clock, tickers, bad)
+		}()
+	}
+}
+
+type tickFn func(Cycle, Phase)
+
+func (f tickFn) Tick(now Cycle, p Phase) { f(now, p) }
